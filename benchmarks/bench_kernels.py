@@ -1,0 +1,120 @@
+"""Kernel microbenchmarks: the hot loops under every pipeline stage.
+
+Not tied to a specific figure; these are the numbers a performance engineer
+would track across commits (SpGEMM expansion, k-mer encoding, canonical
+form, x-drop extension, connected components, vector gather).
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.align import extend_banded, extend_gapless
+from repro.core import connected_components
+from repro.kmer import canonical_kmers, encode_kmers
+from repro.mpi import ProcGrid, SimWorld, zero_cost
+from repro.seq import dna
+from repro.sparse import (
+    DistSparseMatrix,
+    DistVector,
+    LocalCoo,
+    arithmetic_semiring,
+    seed_semiring,
+    spgemm_local,
+)
+from repro.sparse.types import KMER_POS_DTYPE
+
+
+@pytest.fixture(scope="module")
+def random_codes():
+    rng = np.random.default_rng(0)
+    return dna.random_codes(rng, 100_000)
+
+
+def test_bench_kmer_encode(benchmark, random_codes):
+    out = benchmark(encode_kmers, random_codes, 31)
+    assert out.size == random_codes.size - 30
+
+
+def test_bench_kmer_canonical(benchmark, random_codes):
+    kmers = encode_kmers(random_codes, 31)
+    canon, orient = benchmark(canonical_kmers, kmers, 31)
+    assert canon.size == kmers.size
+
+
+def test_bench_revcomp(benchmark, random_codes):
+    out = benchmark(dna.revcomp, random_codes)
+    assert out.size == random_codes.size
+
+
+def test_bench_spgemm_local_numeric(benchmark):
+    rng = np.random.default_rng(1)
+    A = sp.random(500, 500, density=0.02, random_state=rng, format="coo")
+    a = LocalCoo(A.shape, A.row, A.col, A.data)
+    sr = arithmetic_semiring()
+    (C, flops) = benchmark(spgemm_local, a, a.transpose(), sr)
+    assert C.nnz > 0
+
+
+def test_bench_spgemm_local_seed_semiring(benchmark):
+    rng = np.random.default_rng(2)
+    nnz = 20_000
+    rows = rng.integers(0, 400, nnz)
+    cols = rng.integers(0, 4_000, nnz)
+    vals = np.zeros(nnz, dtype=KMER_POS_DTYPE)
+    vals["pos"] = rng.integers(0, 200, nnz)
+    vals["orient"] = rng.choice([-1, 1], nnz)
+    A = LocalCoo((400, 4_000), rows, cols, vals).deduped(lambda v, s: v[s])
+    sr = seed_semiring()
+    (C, flops) = benchmark(
+        spgemm_local, A, A.transpose(), sr, True
+    )
+    assert flops > 0
+
+
+def test_bench_xdrop_gapless(benchmark):
+    rng = np.random.default_rng(3)
+    common = dna.random_codes(rng, 5_000)
+    a = common.copy()
+    b = common.copy()
+    b[rng.integers(0, 5_000, 25)] = rng.integers(0, 4, 25).astype(np.uint8)
+    res = benchmark(extend_gapless, a, b, 2_500, 2_500, 17, 15)
+    assert res.score > 1_000
+
+
+def test_bench_xdrop_banded(benchmark):
+    rng = np.random.default_rng(4)
+    common = dna.random_codes(rng, 600)
+    res = benchmark(
+        extend_banded, common, common.copy(), 300, 300, 17, 15
+    )
+    assert res.score >= 580
+
+
+def test_bench_connected_components(benchmark):
+    w = SimWorld(16, zero_cost())
+    g = ProcGrid(w)
+    n = 4_096
+    rows, cols = [], []
+    for base in range(0, n, 16):
+        for u in range(base, base + 15):
+            rows += [u, u + 1]
+            cols += [u + 1, u]
+    L = DistSparseMatrix.from_global_coo(
+        g, (n, n), np.array(rows), np.array(cols),
+        np.ones(len(rows), dtype=np.int64),
+    )
+    result = benchmark.pedantic(
+        lambda: connected_components(L), rounds=3, iterations=1
+    )
+    assert result.labels.to_global()[15] == 0
+
+
+def test_bench_distvector_gather(benchmark):
+    w = SimWorld(16, zero_cost())
+    g = ProcGrid(w)
+    v = DistVector.arange(g, 100_000)
+    rng = np.random.default_rng(5)
+    requests = [rng.integers(0, 100_000, 5_000) for _ in range(16)]
+    out = benchmark(v.gather, requests)
+    assert len(out) == 16

@@ -1,0 +1,70 @@
+"""Table 1: machine characteristics of the two evaluation platforms.
+
+Regenerates the machine table from the cost-model presets and benchmarks
+the collective-time formulas themselves (they are evaluated millions of
+times during a simulated run).
+"""
+
+import pytest
+
+from repro.mpi import MACHINE_PRESETS, cori_haswell, summit_cpu
+
+
+def render_table1() -> str:
+    lines = [
+        "Table 1 -- machine models",
+        f"{'platform':<16}{'alpha(us)':>10}{'beta(GB/s)':>12}{'gamma(ns)':>11}"
+        f"{'simd_pen':>10}{'ranks/node':>12}{'mem(GB)':>9}",
+    ]
+    for name in ("cori-haswell", "summit-cpu"):
+        m = MACHINE_PRESETS[name]()
+        lines.append(
+            f"{m.name:<16}{m.alpha * 1e6:>10.1f}{1 / m.beta / 1e9:>12.1f}"
+            f"{m.gamma * 1e9:>11.2f}{m.simd_penalty:>10.1f}"
+            f"{m.ranks_per_node:>12}{m.node_memory_gb:>9.0f}"
+        )
+    return "\n".join(lines)
+
+
+class TestTable1:
+    def test_render(self, write_artifact):
+        text = render_table1()
+        write_artifact("table1_machines", text)
+        assert "cori-haswell" in text and "summit-cpu" in text
+
+    def test_relative_characteristics_match_paper(self):
+        """Summit: more memory, slower per-rank network, SIMD penalty."""
+        cori, summit = cori_haswell(), summit_cpu()
+        assert summit.node_memory_gb == 4 * cori.node_memory_gb
+        assert summit.alpha > cori.alpha
+        assert summit.simd_penalty > cori.simd_penalty
+
+
+def bench_collective_formula(machine):
+    total = 0.0
+    for p in (4, 16, 64, 256):
+        for nbytes in (1_000, 1_000_000):
+            total += machine.collective_time("allgather", p, nbytes, nbytes // p)
+            total += machine.collective_time("alltoallv", p, nbytes, nbytes // p)
+    return total
+
+
+def test_bench_collective_time(benchmark):
+    machine = cori_haswell()
+    result = benchmark(bench_collective_formula, machine)
+    assert result > 0
+
+
+def test_bench_table1_full(benchmark, write_artifact):
+    """Aggregated Table 1 reproduction (runs under --benchmark-only)."""
+
+    def regenerate():
+        text = render_table1()
+        cori, summit = cori_haswell(), summit_cpu()
+        assert summit.node_memory_gb == 4 * cori.node_memory_gb
+        assert summit.alpha > cori.alpha
+        assert summit.simd_penalty > cori.simd_penalty
+        return text
+
+    text = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    write_artifact("table1_machines", text)

@@ -1,0 +1,175 @@
+"""Table 4: assembly quality -- ELBA vs the baselines.
+
+The paper's pattern: ELBA's completeness is competitive (on C. elegans it
+*beats* the polished tools), its misassembly count is low, but its contigs
+are markedly shorter and more numerous because ELBA performs no polishing
+(explicitly future work).
+
+Two comparisons are regenerated here:
+
+* ELBA vs the two unpolished baselines (serial-olc, greedy-bog) -- all
+  built on the same substrate, so completeness and misassemblies match
+  the paper's "competitive" claim;
+* ELBA vs **ELBA + scaffold/polish** (this repo's implementation of the
+  paper's §7 future work) -- the polished assembly has fewer, longer
+  contigs at equal completeness, the same qualitative gap Table 4 shows
+  between ELBA and the polishing tools Hifiasm/HiCanu.
+"""
+
+import pytest
+
+from repro.bench import quality_table, run_baselines, sweep_pipeline
+from repro.quality import evaluate_assembly
+from repro.scaffold import (
+    PolishConfig,
+    ScaffoldConfig,
+    gap_fill,
+    polish_contigs,
+)
+
+
+@pytest.fixture(scope="module")
+def runs(c_elegans, o_sativa):
+    out = {}
+    for ds in (c_elegans, o_sativa):
+        elba = sweep_pipeline(ds, "cori-haswell", [4])[0]
+        base = run_baselines(ds, "cori-haswell")
+        out[ds.name] = (ds, elba, base)
+    return out
+
+
+@pytest.fixture(scope="module")
+def polished_runs(runs):
+    """ELBA + the §7 extensions (polish, then gap-fill + scaffold), per
+    dataset: (report, n_in, n_out)."""
+    out = {}
+    for name, (ds, elba, _base) in runs.items():
+        contigs = list(elba.contigs.contigs)
+        pol = polish_contigs(
+            contigs, list(ds.readset.reads), PolishConfig(k=15, min_depth=2)
+        )
+        sca = gap_fill(
+            pol.contigs,
+            ds.readset.reads,
+            ScaffoldConfig(k=25, min_overlap=25),
+        )
+        rep = evaluate_assembly(sca.contigs, ds.genome, k=ds.k)
+        out[name] = (rep, len(contigs), sca.count)
+    return out
+
+
+def _full_text(runs, polished_runs) -> str:
+    blocks = []
+    for name, (ds, elba, base) in runs.items():
+        text, _ = quality_table(ds, elba, base)
+        rep, _, _ = polished_runs[name]
+        text += (
+            f"\n{'ELBA+s&p':<12}{rep.completeness:>12.2%}"
+            f"{rep.longest_contig:>9}{rep.n_contigs:>9}"
+            f"{rep.misassemblies:>14}"
+        )
+        blocks.append(text)
+    return "Table 4 -- assembly quality\n\n" + "\n\n".join(blocks)
+
+
+class TestTable4:
+    def test_render(self, write_artifact, runs, polished_runs):
+        text = _full_text(runs, polished_runs)
+        write_artifact("table4_quality", text)
+        assert "completeness" in text
+
+    def test_elba_completeness_competitive(self, runs):
+        """ELBA within 10 points of the best baseline on each dataset."""
+        for name, (ds, elba, base) in runs.items():
+            _, reports = quality_table(ds, elba, base)
+            best_baseline = max(
+                reports["serial-olc"].completeness,
+                reports["greedy-bog"].completeness,
+            )
+            assert reports["ELBA"].completeness >= best_baseline - 0.10, name
+
+    def test_low_misassemblies(self, runs):
+        """Paper: single-digit misassembly counts for every tool."""
+        for name, (ds, elba, base) in runs.items():
+            _, reports = quality_table(ds, elba, base)
+            for tool, rep in reports.items():
+                assert rep.misassemblies <= max(3, rep.n_contigs // 10), (
+                    name,
+                    tool,
+                )
+
+    def test_elba_contigs_not_longer_than_merged_baseline(self, runs):
+        """Paper: "In ELBA, the contigs are significantly shorter than in
+        the two competing software" (no polishing).  The greedy-bog
+        baseline merges more aggressively, so ELBA's longest contig must
+        not exceed it by more than a small factor."""
+        for name, (ds, elba, base) in runs.items():
+            _, reports = quality_table(ds, elba, base)
+            assert (
+                reports["ELBA"].longest_contig
+                <= 1.5 * reports["greedy-bog"].longest_contig + 1000
+            ), name
+
+    def test_quality_metrics_complete(self, runs):
+        for name, (ds, elba, base) in runs.items():
+            _, reports = quality_table(ds, elba, base)
+            for rep in reports.values():
+                assert rep.ref_length == len(ds.genome)
+                assert rep.n50 >= 0 and rep.total_bases >= 0
+
+
+class TestPolishedElba:
+    """The §7 extensions reproduce the polished-tool side of Table 4:
+    fewer, longer contigs at equal-or-better completeness -- the same
+    qualitative gap the paper shows between ELBA and Hifiasm/HiCanu."""
+
+    def test_strictly_fewer_contigs(self, runs, polished_runs):
+        """Gap filling must close at least one branch-masked gap on each
+        dataset (both fragment at masked branch vertices)."""
+        for name in runs:
+            _rep, n_in, n_out = polished_runs[name]
+            assert n_out < n_in, name
+
+    def test_longest_contig_grows(self, runs, polished_runs):
+        for name, (ds, elba, _b) in runs.items():
+            raw = evaluate_assembly(elba.contigs.contigs, ds.genome, k=ds.k)
+            rep, _, _ = polished_runs[name]
+            assert rep.longest_contig > raw.longest_contig, name
+
+    def test_completeness_not_reduced(self, runs, polished_runs):
+        for name, (ds, elba, _b) in runs.items():
+            raw = evaluate_assembly(elba.contigs.contigs, ds.genome, k=ds.k)
+            rep, _, _ = polished_runs[name]
+            assert rep.completeness >= raw.completeness - 0.005, name
+
+    def test_misassemblies_stay_low(self, runs, polished_runs):
+        for name in runs:
+            rep, _, n_out = polished_runs[name]
+            assert rep.misassemblies <= max(3, n_out // 10), name
+
+
+def test_bench_table4_full(benchmark, write_artifact, runs, polished_runs):
+    """Aggregated Table 4 reproduction (runs under --benchmark-only)."""
+
+    def regenerate():
+        for name, (ds, elba, base) in runs.items():
+            _, reports = quality_table(ds, elba, base)
+            best = max(
+                reports["serial-olc"].completeness,
+                reports["greedy-bog"].completeness,
+            )
+            assert reports["ELBA"].completeness >= best - 0.10
+        return _full_text(runs, polished_runs)
+
+    text = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    write_artifact("table4_quality", text)
+
+
+def test_bench_quality_evaluation(benchmark, c_elegans):
+    from repro.quality import evaluate_assembly
+
+    contigs = [c_elegans.genome[:2000].copy(), c_elegans.genome[1500:].copy()]
+    report = benchmark(
+        evaluate_assembly, contigs, c_elegans.genome, k=c_elegans.k
+    )
+    assert report.completeness > 0.9

@@ -1,0 +1,47 @@
+"""Shared fixtures for the table/figure reproduction benchmarks.
+
+Heavy artifacts (datasets, pipeline sweeps) are session-scoped so each is
+computed once; every bench writes its rendered table to
+``benchmarks/out/<name>.txt`` for EXPERIMENTS.md and prints it to the
+captured log.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import build_bench_dataset
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+@pytest.fixture(scope="session")
+def write_artifact(out_dir):
+    def _write(name: str, text: str) -> None:
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def c_elegans():
+    return build_bench_dataset("c_elegans")
+
+
+@pytest.fixture(scope="session")
+def o_sativa():
+    return build_bench_dataset("o_sativa")
+
+
+@pytest.fixture(scope="session")
+def h_sapiens():
+    return build_bench_dataset("h_sapiens")

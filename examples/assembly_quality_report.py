@@ -1,0 +1,54 @@
+"""Assembly quality comparison in the style of the paper's Table 4.
+
+Assembles the O. sativa bench dataset with distributed ELBA and with both
+shared-memory baseline assemblers, then prints the QUAST-style metric table
+(completeness, longest contig, contig count, misassemblies) for all three,
+plus ELBA's speedup over the baselines (Table 3's view).
+
+Run:  python examples/assembly_quality_report.py
+"""
+
+from repro.bench import (
+    build_bench_dataset,
+    quality_table,
+    run_baselines,
+    speedup_table,
+    sweep_pipeline,
+)
+
+
+def main() -> None:
+    dataset = build_bench_dataset("o_sativa")
+    rs = dataset.readset
+    print(
+        f"dataset: {dataset.name} at 1/{dataset.scale} scale -- "
+        f"{rs.count} reads, {len(rs.genome)} bp genome"
+    )
+
+    print("\nrunning distributed ELBA (P = 4, 16, 64)...")
+    elba_results = sweep_pipeline(dataset, "cori-haswell", [4, 16, 64])
+
+    print("running shared-memory baselines...")
+    baselines = run_baselines(dataset, "cori-haswell")
+    print(
+        f"  serial-olc wall: {baselines.serial_olc_wall:.2f}s   "
+        f"greedy-bog wall: {baselines.greedy_bog_wall:.2f}s"
+    )
+
+    print()
+    text, reports = quality_table(dataset, elba_results[0], baselines)
+    print(text)
+
+    print()
+    print(speedup_table(dataset, elba_results, baselines))
+
+    elba = reports["ELBA"]
+    print(
+        f"\nELBA assembly detail: N50={elba.n50}, NG50={elba.ng50}, "
+        f"duplication={elba.duplication_ratio:.2f}, "
+        f"unaligned={elba.unaligned_contigs}"
+    )
+
+
+if __name__ == "__main__":
+    main()

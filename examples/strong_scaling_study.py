@@ -1,0 +1,34 @@
+"""Strong-scaling study in the style of the paper's Figure 4.
+
+Sweeps the simulated process count over the C. elegans bench dataset on
+both machine models, printing modeled time, speedup and parallel
+efficiency per configuration, plus the per-stage breakdown at the largest P
+(Figure 5's view).
+
+Run:  python examples/strong_scaling_study.py
+"""
+
+from repro.bench import build_bench_dataset, sweep_pipeline
+from repro.pipeline import breakdown_table, scaling_table
+
+P_LIST = [1, 4, 16, 64]
+
+
+def main() -> None:
+    dataset = build_bench_dataset("c_elegans")
+    rs = dataset.readset
+    print(
+        f"dataset: {dataset.name} at 1/{dataset.scale} scale -- "
+        f"{rs.count} reads, {len(rs.genome)} bp genome, {rs.depth():.0f}x"
+    )
+
+    for machine in ("cori-haswell", "summit-cpu"):
+        print(f"\n=== {machine} ===")
+        results = sweep_pipeline(dataset, machine, P_LIST)
+        print(scaling_table(f"{dataset.name} / {machine}", results))
+        print()
+        print(breakdown_table(f"{dataset.name} / {machine}", results))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Legacy setup shim.
+
+The project metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works on environments whose setuptools lacks the
+``wheel`` package needed for PEP 660 editable builds (pip falls back to the
+classic ``setup.py develop`` path when no [build-system] table is declared).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Distributed-memory parallel contig generation for de novo "
+        "long-read genome assembly (ELBA reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

@@ -1,0 +1,43 @@
+"""repro: distributed-memory parallel contig generation for de novo
+long-read genome assembly.
+
+A from-scratch Python reproduction of ELBA (Guidi, Raulet, et al., ICPP
+2022): the full Overlap-Layout-Consensus pipeline over distributed sparse
+matrices, with the paper's contig-generation algorithm -- branch masking,
+connected components, greedy multiway partitioning, induced-subgraph
+redistribution and local depth-first assembly -- as the core contribution.
+
+Quickstart::
+
+    from repro import PipelineConfig, run_pipeline
+    from repro.seq import make_genome, GenomeSpec, sample_reads
+
+    genome = make_genome(GenomeSpec(length=20_000, seed=1))
+    reads = sample_reads(genome, depth=20, mean_length=600, rng=2)
+    result = run_pipeline(reads, PipelineConfig(nprocs=4, k=21))
+    print(result.contigs.count, "contigs,", result.contigs.longest(), "bp longest")
+"""
+
+from .errors import ReproError
+from .pipeline import MAIN_STAGES, PipelineConfig, PipelineResult, run_pipeline
+from .scaffold import (
+    PolishConfig,
+    ScaffoldConfig,
+    polish_contigs,
+    scaffold_contigs,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "PipelineConfig",
+    "PipelineResult",
+    "run_pipeline",
+    "MAIN_STAGES",
+    "ScaffoldConfig",
+    "scaffold_contigs",
+    "PolishConfig",
+    "polish_contigs",
+]

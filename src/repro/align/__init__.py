@@ -1,0 +1,15 @@
+"""Pairwise x-drop alignment and overlap classification."""
+
+from .classify import EdgeFields, OverlapClass, OverlapInfo, classify_overlap
+from .xdrop import XdropResult, extend_banded, extend_gapless, xdrop_extend
+
+__all__ = [
+    "XdropResult",
+    "xdrop_extend",
+    "extend_gapless",
+    "extend_banded",
+    "OverlapClass",
+    "OverlapInfo",
+    "EdgeFields",
+    "classify_overlap",
+]

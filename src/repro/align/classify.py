@@ -1,0 +1,149 @@
+"""Turn alignment endpoints into bidirected string-graph edges.
+
+Given an x-drop alignment between reads *a* and *b* (the latter possibly
+reverse-complemented), this module decides the overlap class and -- for
+proper dovetails -- derives the full edge payload of §4.4 for **both** edge
+directions ``a -> b`` and ``b -> a``:
+
+* the 2-bit direction (which end of each *stored* read the overlap touches),
+* the suffix (overhang) length: bases of the destination beyond the overlap,
+* ``pre``: the last source base contributed before the overlap, in the
+  source's stored coordinates, relative to the walk's traversal direction,
+* ``post``: the first destination base of the overlap, likewise.
+
+The geometry reduces to one rule per read once the overlap interval is
+normalized into stored coordinates together with an *end bit* (1 = the
+overlap touches the read's suffix end).  The end bits are exactly the
+direction bits of the bidirected edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .xdrop import XdropResult
+
+__all__ = ["OverlapClass", "EdgeFields", "OverlapInfo", "classify_overlap"]
+
+
+class OverlapClass:
+    """Enumeration of overlap outcomes."""
+
+    DOVETAIL = "dovetail"
+    CONTAINED_A = "contained_a"  # read a lies inside read b
+    CONTAINED_B = "contained_b"  # read b lies inside read a
+    INTERNAL = "internal"        # alignment ends inside both reads: reject
+
+
+@dataclass(frozen=True)
+class EdgeFields:
+    """Payload of one directed half of a bidirected edge."""
+
+    direction: int  # (src_end_bit << 1) | dst_end_bit
+    suffix: int
+    pre: int
+    post: int
+
+
+@dataclass(frozen=True)
+class OverlapInfo:
+    """Classification result for one aligned read pair."""
+
+    kind: str
+    score: int
+    forward: EdgeFields | None = None  # edge a -> b
+    reverse: EdgeFields | None = None  # edge b -> a
+
+
+def _edge_fields(
+    s_src: int, e_src: int, len_src: int, end_src: int,
+    s_dst: int, e_dst: int, len_dst: int, end_dst: int,
+    score: int,
+) -> EdgeFields:
+    """Derive (dir, suffix, pre, post) for edge src -> dst.
+
+    ``[s, e)`` are the overlap intervals in each read's stored coordinates;
+    ``end`` bits say which end of the stored read the overlap touches
+    (1 = suffix).  Traversal rules:
+
+    * the walk exits the source via its overlap end: forward traversal when
+      ``end_src == 1`` (``pre = s_src - 1``), backward otherwise
+      (``pre = e_src``);
+    * the walk enters the destination at its overlap end: forward traversal
+      when ``end_dst == 0`` (``post = s_dst``), backward otherwise
+      (``post = e_dst - 1``);
+    * the destination's overhang is whatever lies beyond the overlap in
+      traversal direction: ``len_dst - e_dst`` bases when entered forward,
+      ``s_dst`` bases when entered backward.
+    """
+    direction = (end_src << 1) | end_dst
+    pre = s_src - 1 if end_src == 1 else e_src
+    post = s_dst if end_dst == 0 else e_dst - 1
+    suffix = (len_dst - e_dst) if end_dst == 0 else s_dst
+    return EdgeFields(direction=direction, suffix=suffix, pre=pre, post=post)
+
+
+def classify_overlap(
+    result: XdropResult,
+    alen: int,
+    blen: int,
+    same_strand: bool,
+    end_margin: int = 0,
+) -> OverlapInfo:
+    """Classify an alignment and derive both edge payloads.
+
+    Parameters
+    ----------
+    result:
+        Alignment endpoints in oriented coordinates (``b`` endpoints refer
+        to the reverse complement of the stored read when ``same_strand``
+        is False).
+    alen, blen:
+        Stored read lengths.
+    same_strand:
+        Whether ``b`` was aligned in its stored orientation.
+    end_margin:
+        Slack (in bases) allowed between an alignment endpoint and the read
+        end for the overlap to still count as reaching that end; absorbs
+        the early-termination overhangs x-drop leaves behind.
+    """
+    a0, a1 = result.a_begin, result.a_end
+    b0, b1 = result.b_begin, result.b_end
+
+    a_hits_start = a0 <= end_margin
+    a_hits_end = a1 >= alen - end_margin
+    b_hits_start = b0 <= end_margin
+    b_hits_end = b1 >= blen - end_margin
+
+    # containment first: a read entirely inside the other is redundant (§2)
+    if b_hits_start and b_hits_end:
+        return OverlapInfo(kind=OverlapClass.CONTAINED_B, score=result.score)
+    if a_hits_start and a_hits_end:
+        return OverlapInfo(kind=OverlapClass.CONTAINED_A, score=result.score)
+
+    # proper dovetail: the overlap must reach exactly one end of each read
+    if a_hits_end and b_hits_start:
+        end_a = 1  # overlap at a's suffix
+        oriented_end_b = 0
+    elif a_hits_start and b_hits_end:
+        end_a = 0
+        oriented_end_b = 1
+    else:
+        return OverlapInfo(kind=OverlapClass.INTERNAL, score=result.score)
+
+    # normalize b's overlap interval and end bit into stored coordinates
+    if same_strand:
+        sb, eb = b0, b1
+        end_b = oriented_end_b
+    else:
+        sb, eb = blen - b1, blen - b0
+        end_b = 1 - oriented_end_b
+
+    fwd = _edge_fields(a0, a1, alen, end_a, sb, eb, blen, end_b, result.score)
+    rev = _edge_fields(sb, eb, blen, end_b, a0, a1, alen, end_a, result.score)
+    return OverlapInfo(
+        kind=OverlapClass.DOVETAIL,
+        score=result.score,
+        forward=fwd,
+        reverse=rev,
+    )

@@ -1,0 +1,17 @@
+"""Shared-memory baseline assemblers (the Table 3/4 comparators)."""
+
+from .greedy_bog import BogAssemblyResult, assemble_greedy_bog
+from .overlap_index import SerialOverlap, find_overlaps
+from .serial_olc import SerialAssemblyResult, assemble_serial_olc
+from .walker import SerialGraph, walk_contigs
+
+__all__ = [
+    "assemble_serial_olc",
+    "SerialAssemblyResult",
+    "assemble_greedy_bog",
+    "BogAssemblyResult",
+    "find_overlaps",
+    "SerialOverlap",
+    "SerialGraph",
+    "walk_contigs",
+]

@@ -1,0 +1,123 @@
+"""Shared-memory overlap discovery used by both baseline assemblers.
+
+This is the hash-table analogue of the matrix pipeline: a Python-dict k-mer
+index replaces the distributed A matrix, candidate pairs come from shared
+canonical k-mers, and the same x-drop aligner scores them.  It represents
+the single-node style of the comparators in the paper's Table 3 (Hifiasm,
+HiCanu, miniasm, Canu all build in-memory indexes).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..align.classify import EdgeFields, OverlapClass, classify_overlap
+from ..align.xdrop import xdrop_extend
+from ..kmer.codec import canonical_kmers, encode_kmers
+from ..seq import dna
+
+__all__ = ["SerialOverlap", "find_overlaps"]
+
+
+@dataclass(frozen=True)
+class SerialOverlap:
+    """One dovetail overlap between reads ``a < b`` with both payloads."""
+
+    a: int
+    b: int
+    score: int
+    overlap_len: int
+    forward: EdgeFields   # edge a -> b
+    reverse: EdgeFields   # edge b -> a
+
+
+def find_overlaps(
+    reads: list[np.ndarray],
+    k: int,
+    xdrop: int = 15,
+    mode: str = "diag",
+    min_shared: int = 1,
+    end_margin: int = 10,
+    min_overlap: int = 0,
+    max_kmer_occ: int = 64,
+) -> tuple[list[SerialOverlap], set[int]]:
+    """All dovetail overlaps plus the set of contained read ids.
+
+    ``max_kmer_occ`` caps the posting-list length per k-mer (repeat
+    masking, as every real assembler does).
+    """
+    index: dict[int, list[tuple[int, int, int]]] = defaultdict(list)
+    for rid, codes in enumerate(reads):
+        kmers = encode_kmers(codes, k)
+        if kmers.size == 0:
+            continue
+        canon, orient = canonical_kmers(kmers, k)
+        # first occurrence per (read, kmer)
+        seen: set[int] = set()
+        for pos in range(canon.size):
+            key = int(canon[pos])
+            if key in seen:
+                continue
+            seen.add(key)
+            index[key].append((rid, pos, int(orient[pos])))
+
+    # candidate pairs: share >= min_shared kmers; keep the earliest seed
+    pair_seed: dict[tuple[int, int], tuple[int, int, bool]] = {}
+    pair_count: dict[tuple[int, int], int] = defaultdict(int)
+    for postings in index.values():
+        if len(postings) < 2 or len(postings) > max_kmer_occ:
+            continue
+        for i in range(len(postings)):
+            ra, pa, oa = postings[i]
+            for j in range(i + 1, len(postings)):
+                rb, pb, ob = postings[j]
+                if ra == rb:
+                    continue
+                key = (ra, rb) if ra < rb else (rb, ra)
+                pair_count[key] += 1
+                if key not in pair_seed or pair_seed[key][0] > (
+                    pa if ra < rb else pb
+                ):
+                    if ra < rb:
+                        pair_seed[key] = (pa, pb, oa == ob)
+                    else:
+                        pair_seed[key] = (pb, pa, oa == ob)
+
+    overlaps: list[SerialOverlap] = []
+    contained: set[int] = set()
+    for (ra, rb), count in pair_count.items():
+        if count < min_shared:
+            continue
+        pa, pb, same = pair_seed[(ra, rb)]
+        a = reads[ra]
+        b = reads[rb]
+        if same:
+            b_oriented = b
+            seed_b = pb
+        else:
+            b_oriented = dna.revcomp(b)
+            seed_b = b.size - k - pb
+        res = xdrop_extend(a, b_oriented, pa, seed_b, k, xdrop, mode=mode)
+        if min(res.a_span, res.b_span) < min_overlap:
+            continue
+        info = classify_overlap(res, a.size, b.size, same, end_margin=end_margin)
+        if info.kind == OverlapClass.CONTAINED_A:
+            contained.add(ra)
+        elif info.kind == OverlapClass.CONTAINED_B:
+            contained.add(rb)
+        elif info.kind == OverlapClass.DOVETAIL:
+            overlaps.append(
+                SerialOverlap(
+                    a=ra,
+                    b=rb,
+                    score=info.score,
+                    overlap_len=min(res.a_span, res.b_span),
+                    forward=info.forward,
+                    reverse=info.reverse,
+                )
+            )
+    overlaps = [o for o in overlaps if o.a not in contained and o.b not in contained]
+    return overlaps, contained

@@ -1,0 +1,27 @@
+"""Benchmark harness shared by the table/figure reproduction benches."""
+
+from .harness import (
+    SCALING_P,
+    BaselineRuns,
+    BenchDataset,
+    build_bench_dataset,
+    quality_table,
+    render_matrix,
+    run_baselines,
+    seed_preserving_error,
+    speedup_table,
+    sweep_pipeline,
+)
+
+__all__ = [
+    "SCALING_P",
+    "BenchDataset",
+    "build_bench_dataset",
+    "seed_preserving_error",
+    "sweep_pipeline",
+    "run_baselines",
+    "BaselineRuns",
+    "speedup_table",
+    "quality_table",
+    "render_matrix",
+]

@@ -1,0 +1,261 @@
+"""Shared experiment harness for the table/figure benchmarks.
+
+Each ``benchmarks/bench_*.py`` regenerates one table or figure of the paper.
+This module holds the common machinery: bench-scale dataset construction
+(with the seed-statistics-preserving error adjustment for the high-error
+dataset), pipeline sweeps over P and machines, baseline runs, and plain-text
+rendering of the resulting tables.
+
+Modeled times are extrapolated to paper-scale volumes through
+``MachineModel.scaled(scale)``: payload bytes and op counts scale linearly
+with genome size while collective *counts* (the latency terms) do not --
+see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines import assemble_greedy_bog, assemble_serial_olc
+from ..mpi.costmodel import MACHINE_PRESETS, MachineModel
+from ..pipeline import PipelineConfig, PipelineResult, run_pipeline
+from ..quality import QualityReport, evaluate_assembly
+from ..seq import PRESETS, ReadSet, build_dataset
+from ..seq.datasets import DatasetPreset
+
+__all__ = [
+    "BenchDataset",
+    "build_bench_dataset",
+    "seed_preserving_error",
+    "sweep_pipeline",
+    "run_baselines",
+    "BaselineRuns",
+    "speedup_table",
+    "quality_table",
+    "render_matrix",
+]
+
+#: Grid sizes used by the scaling studies (perfect squares; the paper's
+#: node counts 18..128 are not squares either -- CombBLAS pads internally).
+SCALING_P = [1, 4, 16, 36, 64]
+
+
+def seed_preserving_error(preset: DatasetPreset, scale: int, k: int) -> float:
+    """Error rate for the scaled dataset that preserves seed statistics.
+
+    Down-scaling shortens reads, which would make the paper's 15% error
+    regime lose *all* k-mer seeds (a 150 bp overlap at 15% error shares
+    ~0 exact 17-mers, while the paper's 7.4 kb overlaps share ~30).  This
+    picks e' such that the expected shared-seed count per overlap matches
+    the paper's regime:  ov_mini * (1-e')^(2k) == ov_paper * (1-e)^(2k).
+    """
+    mini_len = preset.scaled_read_length(scale)
+    ratio = preset.paper_read_length / mini_len
+    survival_paper = (1.0 - preset.error_rate) ** (2 * k)
+    target = min(ratio * survival_paper, 0.9)
+    return float(1.0 - target ** (1.0 / (2 * k)))
+
+
+@dataclass
+class BenchDataset:
+    """A bench-scale dataset plus the pipeline parameters tuned for it."""
+
+    name: str
+    readset: ReadSet
+    scale: int
+    k: int
+    config_kwargs: dict = field(default_factory=dict)
+
+    @property
+    def genome(self) -> np.ndarray:
+        return self.readset.genome
+
+    def config(self, nprocs: int, machine) -> PipelineConfig:
+        return PipelineConfig(
+            nprocs=nprocs, machine=machine, k=self.k, **self.config_kwargs
+        )
+
+
+def build_bench_dataset(name: str, scale: int | None = None) -> BenchDataset:
+    """Construct the bench-scale counterpart of a Table 2 dataset.
+
+    The low-error datasets are built **substitution-only** at bench scale:
+    the paper aligns with an indel-capable x-drop engine (SeqAn/LOGAN
+    banded extension), while the bench sweeps use the fast gapless engine
+    whose extension terminates at the first indel.  At 150 bp scaled reads
+    even 0.1% indels truncate a large fraction of true dovetails into
+    INTERNAL classifications, deleting the two-hop legs transitive
+    reduction needs and collapsing the string graph.  Substitution-only
+    errors at the same total rate preserve what the classifier actually
+    sees at paper scale: nearly every true dovetail recovered, with
+    score jitter from mismatches.  H. sapiens keeps its full indel mix and
+    exercises the banded-DP path, exactly as the paper runs it with
+    different parameters (k=17, x=7).
+    """
+    from dataclasses import replace
+
+    preset = PRESETS[name]
+    if name == "h_sapiens":
+        scale = scale or 400_000
+        k = 17
+        error = seed_preserving_error(preset, scale, k)
+        adjusted = replace(preset, error_rate=error)
+        rs = build_dataset(adjusted, scale=scale)
+        kwargs = dict(
+            reliable_lo=2,
+            xdrop=7,
+            align_mode="dp",
+            end_margin=40,
+            tr_fuzz=150,
+        )
+    elif name == "o_sativa":
+        scale = scale or 50_000
+        k = 21
+        rs = build_dataset(replace(preset, error_mix=(1.0, 0.0, 0.0)), scale=scale)
+        kwargs = dict(reliable_lo=2, xdrop=15, end_margin=25)
+    elif name == "c_elegans":
+        scale = scale or 25_000
+        k = 21
+        rs = build_dataset(replace(preset, error_mix=(1.0, 0.0, 0.0)), scale=scale)
+        kwargs = dict(reliable_lo=2, xdrop=15, end_margin=25)
+    else:
+        raise KeyError(f"unknown dataset {name!r}")
+    return BenchDataset(
+        name=preset.label, readset=rs, scale=scale, k=k, config_kwargs=kwargs
+    )
+
+
+def sweep_pipeline(
+    dataset: BenchDataset,
+    machine_name: str,
+    nprocs_list: list[int] | None = None,
+) -> list[PipelineResult]:
+    """Run the pipeline at every P with paper-volume extrapolation."""
+    nprocs_list = nprocs_list or SCALING_P
+    machine = MACHINE_PRESETS[machine_name]().scaled(dataset.scale)
+    results = []
+    for p in nprocs_list:
+        results.append(
+            run_pipeline(dataset.readset, dataset.config(p, machine))
+        )
+    return results
+
+
+@dataclass
+class BaselineRuns:
+    """Wall and modeled times of the shared-memory comparators."""
+
+    serial_olc_wall: float
+    greedy_bog_wall: float
+    serial_olc_modeled: float
+    greedy_bog_modeled: float
+    serial_contigs: list
+    bog_contigs: list
+
+
+def run_baselines(dataset: BenchDataset, machine_name: str) -> BaselineRuns:
+    """Run both baselines; model their single-node time via the P=1 cost.
+
+    The modeled time charges the same per-op rates as ELBA's cost model to
+    the serially-measured work, which is what makes Table 3's comparison
+    apples-to-apples under simulation.
+    """
+    machine = MACHINE_PRESETS[machine_name]().scaled(dataset.scale)
+    reads = list(dataset.readset.reads)
+    kwargs = dataset.config_kwargs
+    olc = assemble_serial_olc(
+        reads,
+        k=dataset.k,
+        xdrop=kwargs.get("xdrop", 15),
+        mode=kwargs.get("align_mode", "diag"),
+        end_margin=kwargs.get("end_margin", 10),
+    )
+    bog = assemble_greedy_bog(
+        reads,
+        k=dataset.k,
+        xdrop=kwargs.get("xdrop", 15),
+        mode=kwargs.get("align_mode", "diag"),
+        end_margin=kwargs.get("end_margin", 10),
+    )
+    # modeled single-node time: total bases aligned ~ serial work measured
+    # by running ELBA's own P=1 cost accounting
+    p1 = run_pipeline(dataset.readset, dataset.config(1, machine))
+    serial_modeled = p1.modeled_total
+    # the bog baseline skips transitive reduction: subtract that stage
+    bog_modeled = serial_modeled - p1.stage_seconds("TrReduction")
+    return BaselineRuns(
+        serial_olc_wall=olc.wall_seconds,
+        greedy_bog_wall=bog.wall_seconds,
+        serial_olc_modeled=serial_modeled,
+        greedy_bog_modeled=bog_modeled,
+        serial_contigs=olc.contigs,
+        bog_contigs=bog.contigs,
+    )
+
+
+def speedup_table(
+    dataset: BenchDataset,
+    elba_results: list[PipelineResult],
+    baselines: BaselineRuns,
+) -> str:
+    """Render a Table 3-style speedup summary."""
+    lines = [
+        f"Table 3 style -- {dataset.name} (scale 1/{dataset.scale})",
+        f"{'tool':<14}{'modeled(s)':>12}{'P':>6}{'ELBA speedup':>14}",
+    ]
+    for label, modeled in (
+        ("serial-olc", baselines.serial_olc_modeled),
+        ("greedy-bog", baselines.greedy_bog_modeled),
+    ):
+        for res in elba_results:
+            sp = modeled / res.modeled_total if res.modeled_total else 0.0
+            lines.append(
+                f"{label:<14}{modeled:>12.2f}{res.config.nprocs:>6}{sp:>13.1f}x"
+            )
+    return "\n".join(lines)
+
+
+def quality_table(
+    dataset: BenchDataset,
+    elba_result: PipelineResult,
+    baselines: BaselineRuns,
+    k: int | None = None,
+) -> tuple[str, dict[str, QualityReport]]:
+    """Render a Table 4-style quality comparison; returns text + reports."""
+    k = k or dataset.k
+    reports = {
+        "ELBA": evaluate_assembly(
+            elba_result.contigs.contigs, dataset.genome, k=k
+        ),
+        "serial-olc": evaluate_assembly(
+            baselines.serial_contigs, dataset.genome, k=k
+        ),
+        "greedy-bog": evaluate_assembly(
+            baselines.bog_contigs, dataset.genome, k=k
+        ),
+    }
+    lines = [
+        f"Table 4 style -- {dataset.name}",
+        f"{'tool':<12}{'completeness':>13}{'longest':>9}{'contigs':>9}"
+        f"{'misassembled':>14}",
+    ]
+    for tool, rep in reports.items():
+        lines.append(
+            f"{tool:<12}{rep.completeness:>12.2%}{rep.longest_contig:>9}"
+            f"{rep.n_contigs:>9}{rep.misassemblies:>14}"
+        )
+    return "\n".join(lines), reports
+
+
+def render_matrix(title: str, col_names: list[str], rows: list[tuple[str, list]]) -> str:
+    """Generic fixed-width table renderer for bench output."""
+    header = f"{'':<18}" + "".join(f"{c:>12}" for c in col_names)
+    lines = [title, header]
+    for name, values in rows:
+        cells = "".join(
+            f"{v:>12.4f}" if isinstance(v, float) else f"{v:>12}" for v in values
+        )
+        lines.append(f"{name:<18}{cells}")
+    return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""Command-line entry points (the ELBA binary, as console scripts).
+
+Three commands mirror how the paper's artifact is driven:
+
+* ``repro-assemble`` -- run the full Algorithm 1 pipeline on a FASTA file
+  or a Table 2 synthetic preset, optionally scaffold + polish (the §7
+  extensions), and write contigs as FASTA.
+* ``repro-quality``  -- evaluate a contig FASTA against a reference FASTA
+  and print the Table 4 metrics.
+* ``repro-scaling``  -- sweep the pipeline over a list of grid sizes on a
+  machine preset and print the Fig. 4/5-style scaling and breakdown
+  tables.
+
+Each command is an ordinary ``main(argv) -> int`` so tests drive them
+in-process.
+"""
+
+from .assemble import main as assemble_main
+from .quality import main as quality_main
+from .scaling import main as scaling_main
+
+__all__ = ["assemble_main", "quality_main", "scaling_main"]

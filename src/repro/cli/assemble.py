@@ -1,0 +1,221 @@
+"""``repro-assemble``: run the ELBA pipeline from the command line."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..bench.harness import build_bench_dataset
+from ..pipeline import PipelineConfig, run_pipeline
+from ..quality import evaluate_assembly
+from ..scaffold import (
+    PolishConfig,
+    ScaffoldConfig,
+    gap_fill,
+    polish_contigs,
+    scaffold_contigs,
+)
+from ..seq.fasta import read_fasta, write_fasta
+from .common import CliError, add_dataset_args, add_machine_arg, positive_int
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-assemble",
+        description=(
+            "De novo long-read assembly with the distributed contig-"
+            "generation pipeline (simulated P-rank grid)."
+        ),
+    )
+    add_dataset_args(parser)
+    add_machine_arg(parser)
+    parser.add_argument(
+        "-P",
+        "--nprocs",
+        type=positive_int,
+        default=4,
+        help="simulated ranks (perfect square)",
+    )
+    parser.add_argument("-k", type=positive_int, default=None, help="k-mer length")
+    parser.add_argument(
+        "--xdrop", type=positive_int, default=None, help="x-drop threshold"
+    )
+    parser.add_argument(
+        "--align-mode", choices=("diag", "dp"), default=None,
+        help="gapless (diag) or banded-DP alignment",
+    )
+    parser.add_argument(
+        "--memory-mode", choices=("fast", "low"), default="fast",
+        help="SpGEMM accumulation strategy (low = stream merge)",
+    )
+    parser.add_argument(
+        "--partition", choices=("lpt", "greedy", "round_robin"), default="lpt",
+        help="contig-to-processor partitioning algorithm",
+    )
+    parser.add_argument(
+        "--scaffold", action="store_true",
+        help="merge contigs with the scaffolding extension after assembly",
+    )
+    parser.add_argument(
+        "--gap-fill", action="store_true",
+        help="bridge contig gaps with unplaced reads after assembly",
+    )
+    parser.add_argument(
+        "--polish", action="store_true",
+        help="pileup-polish contigs against their reads after assembly",
+    )
+    parser.add_argument(
+        "-o", "--output", default=None,
+        help="write contigs to this FASTA file (default: no file output)",
+    )
+    parser.add_argument(
+        "--gfa", default=None, metavar="FILE",
+        help="write the string graph + contig paths as GFA 1",
+    )
+    parser.add_argument(
+        "--paf", default=None, metavar="FILE",
+        help="write the overlap graph as PAF records",
+    )
+    parser.add_argument(
+        "--breakdown", action="store_true",
+        help="print the per-stage modeled time breakdown",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print read-set statistics (N50, GC, depth estimate) first",
+    )
+    parser.add_argument(
+        "--quality", action="store_true",
+        help="evaluate contigs against the preset's reference genome",
+    )
+    return parser
+
+
+def _load_reads(args):
+    """Returns (reads, bench_dataset_or_None)."""
+    if args.fasta:
+        try:
+            _, reads = read_fasta(args.fasta)
+        except OSError as exc:
+            raise CliError(f"cannot read FASTA {args.fasta!r}: {exc}") from exc
+        if not reads:
+            raise CliError(f"no sequences found in {args.fasta!r}")
+        return reads, None
+    ds = build_bench_dataset(args.preset, scale=args.scale)
+    return list(ds.readset.reads), ds
+
+
+def _make_config(args, ds) -> PipelineConfig:
+    kwargs = dict(ds.config_kwargs) if ds is not None else {}
+    cfg = PipelineConfig(
+        nprocs=args.nprocs,
+        machine=args.machine,
+        k=args.k or (ds.k if ds is not None else 31),
+        memory_mode=args.memory_mode,
+        partition_method=args.partition,
+        **kwargs,
+    )
+    if args.xdrop is not None:
+        cfg.xdrop = args.xdrop
+    if args.align_mode is not None:
+        cfg.align_mode = args.align_mode
+    return cfg
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """Parse arguments, run the pipeline (plus any requested extensions), report, and write outputs; returns a process exit code."""
+    out = out or sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        reads, ds = _load_reads(args)
+        cfg = _make_config(args, ds)
+        if args.gfa or args.paf:
+            cfg.keep_graphs = True
+        cfg.validate()
+        if args.stats:
+            from ..seq import estimate_depth, kmer_spectrum, read_stats
+
+            glen = len(ds.genome) if ds is not None else None
+            st = read_stats(reads, genome_length=glen)
+            print(st.render(), file=out)
+            spec = kmer_spectrum(reads, cfg.k)
+            print(
+                f"k-mer depth estimate (k={cfg.k}): "
+                f"{estimate_depth(spec):.0f}x",
+                file=out,
+            )
+        result = run_pipeline(ds.readset if ds is not None else reads, cfg)
+
+        contigs = list(result.contigs.contigs)
+        if args.gfa:
+            from ..export import write_gfa
+
+            n = write_gfa(args.gfa, result.S, reads, contigs)
+            print(f"wrote {n} GFA lines to {args.gfa}", file=out)
+        if args.paf:
+            from ..export import write_paf
+
+            n = write_paf(args.paf, result.R, reads)
+            print(f"wrote {n} PAF records to {args.paf}", file=out)
+        if args.polish:
+            polished = polish_contigs(contigs, reads, PolishConfig())
+            print(
+                f"polish: corrected {polished.total_changed} bases "
+                f"across {len(contigs)} contigs",
+                file=out,
+            )
+            contigs = polished.contigs
+        seqs = [c.codes for c in contigs]
+        if args.scaffold:
+            scaffolded = scaffold_contigs(seqs, ScaffoldConfig())
+            print(
+                f"scaffold: {len(seqs)} contigs -> {scaffolded.count} "
+                f"in {scaffolded.n_rounds} round(s)",
+                file=out,
+            )
+            seqs = scaffolded.contigs
+        if args.gap_fill:
+            filled = gap_fill(seqs, reads, ScaffoldConfig(min_overlap=25))
+            print(
+                f"gap-fill: {len(seqs)} contigs -> {filled.count}",
+                file=out,
+            )
+            seqs = filled.contigs
+
+        lengths = sorted((int(s.size) for s in seqs), reverse=True)
+        print(
+            f"assembled {len(seqs)} contigs from {len(reads)} reads "
+            f"({sum(lengths)} bases, longest {lengths[0] if lengths else 0})",
+            file=out,
+        )
+        print(
+            f"modeled time on {args.machine} with P={args.nprocs}: "
+            f"{result.modeled_total:.4f}s  "
+            f"(peak memory {result.peak_memory_bytes / 1e6:.2f} MB/rank)",
+            file=out,
+        )
+        if args.breakdown:
+            for stage, sec in result.main_stage_breakdown().items():
+                print(f"  {stage:<16}{sec:>12.4f}s", file=out)
+        if args.quality:
+            if ds is None:
+                raise CliError("--quality requires --preset (needs a reference)")
+            rep = evaluate_assembly(seqs, ds.genome, k=ds.k)
+            print(f"quality: {rep.row()}", file=out)
+        if args.output:
+            write_fasta(
+                args.output,
+                ((f"contig_{i}" , s) for i, s in enumerate(seqs)),
+            )
+            print(f"wrote {len(seqs)} contigs to {args.output}", file=out)
+        return 0
+    except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

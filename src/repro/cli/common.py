@@ -1,0 +1,55 @@
+"""Shared argparse plumbing for the console scripts."""
+
+from __future__ import annotations
+
+import argparse
+
+from ..mpi.costmodel import MACHINE_PRESETS
+from ..seq.datasets import PRESETS
+
+__all__ = ["add_machine_arg", "add_dataset_args", "positive_int", "CliError"]
+
+
+class CliError(Exception):
+    """A user-facing command-line error (bad arguments, missing files)."""
+
+
+def positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {text}")
+    return value
+
+
+def add_machine_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--machine",
+        default="cori-haswell",
+        choices=sorted(MACHINE_PRESETS),
+        help="machine cost-model preset charged for modeled time",
+    )
+
+
+def add_dataset_args(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--fasta",
+        help="assemble reads from this FASTA file",
+    )
+    group.add_argument(
+        "--preset",
+        choices=sorted(PRESETS),
+        help="assemble a scaled synthetic Table 2 dataset",
+    )
+    parser.add_argument(
+        "--scale",
+        type=positive_int,
+        default=None,
+        help="down-scaling factor for --preset (default: per-dataset)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="random seed for --preset generation",
+    )

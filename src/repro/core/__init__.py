@@ -1,0 +1,32 @@
+"""The paper's contribution: distributed contig generation (Algorithm 2)."""
+
+from .assembly import Contig, LocalAssemblyResult, local_assembly
+from .branch import BRANCH_DEGREE, BranchRemovalResult, branch_removal
+from .ccomp import ConnectedComponentsResult, connected_components, contig_sizes_distributed
+from .contig import STAGE_PREFIX, ContigSet, contig_generation
+from .induced import InducedGraph, induced_subgraph, induced_subgraph_naive
+from .partition import PartitionResult, multiway_partition, partition_contigs
+from .seqexchange import SequenceExchangeResult, exchange_sequences
+
+__all__ = [
+    "contig_generation",
+    "ContigSet",
+    "STAGE_PREFIX",
+    "branch_removal",
+    "BranchRemovalResult",
+    "BRANCH_DEGREE",
+    "connected_components",
+    "ConnectedComponentsResult",
+    "contig_sizes_distributed",
+    "multiway_partition",
+    "partition_contigs",
+    "PartitionResult",
+    "induced_subgraph",
+    "induced_subgraph_naive",
+    "InducedGraph",
+    "exchange_sequences",
+    "SequenceExchangeResult",
+    "local_assembly",
+    "LocalAssemblyResult",
+    "Contig",
+]

@@ -1,0 +1,264 @@
+"""Local contig assembly: the depth-first linear walk of §4.4.
+
+Each rank holds one or more linear components in a local matrix plus the
+read sequences behind them.  The matrix is converted DCSC -> CSC (only the
+column pointers uncompress; row indices and values are shared), then:
+
+* scan all vertices for unvisited **root vertices** (degree 1, via
+  ``JC[i+1] - JC[i]``);
+* from each root, walk the chain -- the frontier is always a single vertex
+  because degrees are <= 2 by construction -- collecting the edges;
+* concatenate the reads' non-overlapping pieces using each edge's
+  ``pre``/``post`` cut points, honouring traversal orientation: a read
+  entered through its suffix end contributes reverse-complemented bases
+  (the generalized ``l[i:j]``, ``i > j`` slice of the paper);
+* mark the far root visited so no contig is emitted twice.
+
+Cyclic components (every vertex degree 2) have no root; the paper's
+algorithm ignores them, and by default so does this one -- pass
+``emit_cycles=True`` to break each cycle at its smallest vertex and emit a
+(flagged) circular contig, an extension useful for plasmid-like inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import AssemblyError
+from ..seq import dna
+from ..seq.readstore import PackedReads
+from ..sparse.dcsc import Dcsc
+from ..strgraph.edgecodec import dst_end_bit, src_end_bit
+from .induced import InducedGraph
+
+__all__ = ["Contig", "LocalAssemblyResult", "local_assembly"]
+
+
+@dataclass
+class Contig:
+    """One assembled contig.
+
+    ``codes`` is the concatenated sequence; ``read_path`` records the global
+    read ids in walk order and ``orientations`` whether each read was
+    traversed forward (+1) or reverse-complemented (-1) -- the provenance
+    quality metrics need.
+    """
+
+    codes: np.ndarray
+    read_path: list[int]
+    orientations: list[int]
+    circular: bool = False
+    truncated: bool = False
+
+    @property
+    def length(self) -> int:
+        return int(self.codes.size)
+
+    @property
+    def n_reads(self) -> int:
+        return len(self.read_path)
+
+    def sequence(self) -> str:
+        return dna.decode(self.codes)
+
+
+@dataclass
+class LocalAssemblyResult:
+    """Contigs assembled by one rank, plus diagnostics."""
+
+    contigs: list[Contig] = field(default_factory=list)
+    n_roots: int = 0
+    n_cycles: int = 0
+    n_singletons: int = 0
+
+
+def _contribution(
+    codes: np.ndarray, start: int, stop: int, forward: bool
+) -> np.ndarray:
+    """Bases a read contributes between two cut points (inclusive).
+
+    ``start``/``stop`` are stored coordinates; ``forward`` is the traversal
+    direction.  Backward traversal yields reverse-complemented bases.  An
+    empty range (the next overlap swallows the whole remainder) contributes
+    nothing.
+    """
+    if forward:
+        if stop < start:
+            return np.empty(0, dtype=np.uint8)
+        return codes[start : stop + 1]
+    if stop > start:
+        return np.empty(0, dtype=np.uint8)
+    return dna.revcomp(codes[stop : start + 1])
+
+
+def _edge_payload(csc, u: int, v: int):
+    """Payload of directed edge (u, v): row u within column v's slice."""
+    lo, hi = csc.jc[v], csc.jc[v + 1]
+    rows = csc.ir[lo:hi]
+    hit = np.flatnonzero(rows == u)
+    if hit.size != 1:
+        raise AssemblyError(f"edge ({u}, {v}) not found in local matrix")
+    return csc.val[lo + int(hit[0])]
+
+
+def _walk(
+    csc, start: int, visited: np.ndarray, first_neighbor: int | None = None
+) -> tuple[list[int], list, bool]:
+    """Follow the chain from ``start``; returns (vertices, edges, truncated).
+
+    ``visited`` is updated in place.  The walk ends at the far root, when a
+    cycle closes, or -- degenerately -- when no walk-compatible unvisited
+    neighbor exists (``truncated``).
+    """
+    path = [start]
+    edges = []
+    visited[start] = True
+    cur = start
+    prev = -1
+    entered_bit: int | None = None  # end bit through which cur was entered
+    while True:
+        neighbors = csc.slice_indices(cur)
+        nxt = -1
+        payload = None
+        for cand in neighbors:
+            cand = int(cand)
+            if cand == prev or visited[cand]:
+                continue
+            rec = _edge_payload(csc, cur, cand)
+            if entered_bit is not None and src_end_bit(int(rec["dir"])) == entered_bit:
+                # would exit through the end we entered: not a valid walk
+                continue
+            nxt, payload = cand, rec
+            break
+        if nxt < 0:
+            # end of chain: root reached, or truncated mid-path
+            truncated = csc.degree(cur) == 2 and entered_bit is not None and any(
+                not visited[int(c)] for c in neighbors
+            )
+            return path, edges, truncated
+        edges.append((cur, nxt, payload))
+        visited[nxt] = True
+        entered_bit = dst_end_bit(int(payload["dir"]))
+        prev, cur = cur, nxt
+        path.append(cur)
+
+
+def _concatenate(
+    graph: InducedGraph,
+    reads: PackedReads,
+    path: list[int],
+    edges: list,
+    circular: bool,
+    truncated: bool,
+) -> Contig:
+    """Join the walk's reads into one contig via pre/post cut points."""
+    pieces: list[np.ndarray] = []
+    read_path: list[int] = []
+    orientations: list[int] = []
+
+    def codes_of(local_vertex: int) -> np.ndarray:
+        gid = int(graph.global_ids[local_vertex])
+        return reads.codes(reads.index_of(gid))
+
+    if not edges:
+        raise AssemblyError("a contig walk must contain at least one edge")
+
+    # first read: everything up to the first overlap
+    first = path[0]
+    first_codes = codes_of(first)
+    e0 = edges[0][2]
+    fwd0 = bool(src_end_bit(int(e0["dir"])))  # exits via suffix => forward
+    alpha = 0 if fwd0 else first_codes.size - 1
+    pieces.append(_contribution(first_codes, alpha, int(e0["pre"]), fwd0))
+    read_path.append(int(graph.global_ids[first]))
+    orientations.append(1 if fwd0 else -1)
+
+    # middle reads: from the incoming overlap start to before the outgoing
+    for idx in range(1, len(path) - 1):
+        vertex = path[idx]
+        codes = codes_of(vertex)
+        e_in = edges[idx - 1][2]
+        e_out = edges[idx][2]
+        fwd = dst_end_bit(int(e_in["dir"])) == 0  # entered at prefix
+        pieces.append(
+            _contribution(codes, int(e_in["post"]), int(e_out["pre"]), fwd)
+        )
+        read_path.append(int(graph.global_ids[vertex]))
+        orientations.append(1 if fwd else -1)
+
+    # last read: from the incoming overlap start to its far end
+    last = path[-1]
+    last_codes = codes_of(last)
+    e_last = edges[-1][2]
+    fwd_last = dst_end_bit(int(e_last["dir"])) == 0
+    beta = last_codes.size - 1 if fwd_last else 0
+    pieces.append(
+        _contribution(last_codes, int(e_last["post"]), beta, fwd_last)
+    )
+    read_path.append(int(graph.global_ids[last]))
+    orientations.append(1 if fwd_last else -1)
+
+    return Contig(
+        codes=np.concatenate(pieces),
+        read_path=read_path,
+        orientations=orientations,
+        circular=circular,
+        truncated=truncated,
+    )
+
+
+def local_assembly(
+    graph: InducedGraph,
+    reads: PackedReads,
+    emit_cycles: bool = False,
+) -> LocalAssemblyResult:
+    """Assemble every linear component of one rank's induced subgraph."""
+    result = LocalAssemblyResult()
+    nv = graph.n_vertices
+    if nv == 0:
+        return result
+    csc = Dcsc.from_coo(graph.coo).to_csc()
+    degrees = csc.degrees()
+    if degrees.size and degrees.max() > 2:
+        raise AssemblyError(
+            f"local graph has a vertex of degree {int(degrees.max())}; "
+            "branch removal must run first"
+        )
+    visited = np.zeros(nv, dtype=bool)
+
+    # pass 1: linear chains from root vertices
+    roots = np.flatnonzero(degrees == 1)
+    for root in roots:
+        root = int(root)
+        if visited[root]:
+            continue
+        result.n_roots += 1
+        path, edges, truncated = _walk(csc, root, visited)
+        if edges:
+            result.contigs.append(
+                _concatenate(graph, reads, path, edges, False, truncated)
+            )
+
+    # isolated vertices are not contigs ("at least two sequences")
+    result.n_singletons = int(((degrees == 0)).sum())
+    visited |= degrees == 0
+
+    # pass 2: cycles (no root vertex) -- optional extension
+    remaining = np.flatnonzero(~visited)
+    for vertex in remaining:
+        vertex = int(vertex)
+        if visited[vertex]:
+            continue
+        result.n_cycles += 1
+        if not emit_cycles:
+            # mark the whole cycle visited and skip it, as the paper does
+            path, _edges, _ = _walk(csc, vertex, visited)
+            continue
+        path, edges, _ = _walk(csc, vertex, visited)
+        if edges:
+            contig = _concatenate(graph, reads, path, edges, True, False)
+            contig.circular = True
+            result.contigs.append(contig)
+    return result

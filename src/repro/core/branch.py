@@ -1,0 +1,45 @@
+"""Branch-vertex masking: S -> L (Algorithm 2, line 2).
+
+A branching vertex (degree >= 3) makes the linear chain ambiguous, so ELBA
+masks it out: (1) a summation reduction over the row dimension of S yields
+the distributed degree vector **d**; (2) an element-wise selection extracts
+the indices with degree >= 3 into the branch vector **b**; (3) the rows
+*and* columns of those vertices are cleared from S (the matrix keeps its
+indexing -- only nonzeros disappear), leaving the linear-chain matrix **L**
+whose vertices all have degree 0, 1 or 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sparse.distmat import DistSparseMatrix
+from ..sparse.distvec import DistVector
+
+__all__ = ["BranchRemovalResult", "branch_removal"]
+
+#: Vertices of this degree or higher are branching (paper: "degree >= 3").
+BRANCH_DEGREE = 3
+
+
+@dataclass
+class BranchRemovalResult:
+    """L plus the intermediate vectors, kept for reporting and tests."""
+
+    L: DistSparseMatrix
+    degrees: DistVector
+    branch_indices: list[np.ndarray]  # per-rank global ids of masked vertices
+
+    @property
+    def branch_count(self) -> int:
+        return int(sum(b.size for b in self.branch_indices))
+
+
+def branch_removal(S: DistSparseMatrix, threshold: int = BRANCH_DEGREE) -> BranchRemovalResult:
+    """Mask branching vertices out of the string matrix."""
+    degrees = S.row_reduce()
+    branch = degrees.select_global_indices(lambda deg: deg >= threshold)
+    L = S.clear_rows_and_cols(branch)
+    return BranchRemovalResult(L=L, degrees=degrees, branch_indices=branch)

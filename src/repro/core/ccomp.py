@@ -1,0 +1,134 @@
+"""Distributed connected components (Algorithm 2, line 3).
+
+ELBA uses LACC, the linear-algebraic Awerbuch-Shiloach implementation of
+Azad & Buluc.  This module implements the same hook-and-compress family over
+the distributed edge blocks and a distributed parent vector:
+
+* **hooking**: every edge ``(u, v)`` whose endpoints have different parents
+  proposes hooking the larger *root* parent onto the smaller parent
+  (min-combine scatter keeps it deterministic and acyclic);
+* **shortcutting**: pointer jumping ``f[u] <- f[f[u]]`` compresses trees
+  toward stars, performed with the owner-computes vector gather.
+
+Both steps are O(nnz / P) local work plus all-to-alls, converging in
+O(log n) rounds -- the same round structure as LACC.  The returned vector
+**v** maps every vertex to its component label (the minimum vertex id in
+the component), i.e. the contig index of §4.2.
+
+Contig *size estimation* follows the paper exactly: each rank counts its
+local members per label, and an ``MPI_Reduce_scatter`` turns the per-rank
+counts into a distributed map from contig index to global size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sparse.distmat import DistSparseMatrix
+from ..sparse.distvec import DistVector
+
+__all__ = ["connected_components", "contig_sizes_distributed", "ConnectedComponentsResult"]
+
+
+@dataclass
+class ConnectedComponentsResult:
+    """Component labels plus convergence diagnostics."""
+
+    labels: DistVector
+    rounds: int
+
+
+def _shortcut_until_stable(f: DistVector, max_rounds: int = 64) -> int:
+    """Pointer-jump until every vertex points at a root. Returns rounds."""
+    world = f.grid.world
+    for rounds in range(1, max_rounds + 1):
+        requests = [blk.copy() for blk in f.blocks]
+        grandparents = f.gather(requests)
+        changed = 0
+        for rank, gp in enumerate(grandparents):
+            if gp.size and not np.array_equal(gp, f.blocks[rank]):
+                changed += int((gp != f.blocks[rank]).sum())
+                f.blocks[rank] = gp
+            world.charge_compute(rank, gp.size)
+        total_changed = world.comm.allreduce(
+            [changed if r == 0 else 0 for r in range(world.nprocs)],
+            lambda a, b: a + b,
+        ) if world.nprocs > 1 else changed
+        if total_changed == 0:
+            return rounds
+    return max_rounds
+
+
+def connected_components(
+    L: DistSparseMatrix, max_rounds: int = 64
+) -> ConnectedComponentsResult:
+    """Label the connected components of the (pattern-symmetric) matrix L."""
+    grid, world = L.grid, L.grid.world
+    P = grid.nprocs
+    n = L.shape[0]
+    f = DistVector.arange(grid, n)
+
+    # per-rank edge endpoint lists in global coordinates (fixed for the run)
+    edge_u: list[np.ndarray] = []
+    edge_v: list[np.ndarray] = []
+    for rank, blk in enumerate(L.blocks):
+        rlo, clo = L.block_offsets(rank)
+        edge_u.append(blk.rows + rlo)
+        edge_v.append(blk.cols + clo)
+
+    rounds = 0
+    for rounds in range(1, max_rounds + 1):
+        pu = f.gather(edge_u)
+        pv = f.gather(edge_v)
+        gpu = f.gather(pu)
+        gpv = f.gather(pv)
+        hook_idx: list[np.ndarray] = []
+        hook_val: list[np.ndarray] = []
+        n_hooks = 0
+        for rank in range(P):
+            a, b = pu[rank], pv[rank]
+            ga, gb = gpu[rank], gpv[rank]
+            # hook root b onto smaller parent a, and vice versa
+            cond1 = (a < b) & (gb == b)
+            cond2 = (b < a) & (ga == a)
+            idx = np.concatenate([b[cond1], a[cond2]])
+            val = np.concatenate([a[cond1], b[cond2]])
+            hook_idx.append(idx)
+            hook_val.append(val)
+            n_hooks += int(idx.size)
+            world.charge_compute(rank, a.size)
+        total_hooks = world.comm.allreduce(
+            [int(i.size) for i in hook_idx], lambda x, y: x + y
+        )
+        if total_hooks == 0:
+            break
+        f.scatter_update(hook_idx, hook_val, combine="min")
+        _shortcut_until_stable(f)
+    else:  # pragma: no cover - defensive; log-n rounds suffice
+        pass
+
+    _shortcut_until_stable(f)
+    return ConnectedComponentsResult(labels=f, rounds=rounds)
+
+
+def contig_sizes_distributed(labels: DistVector) -> DistVector:
+    """Global component sizes via local counts + ``MPI_Reduce_scatter``.
+
+    Returns a distributed vector aligned with the vertex space: entry ``c``
+    holds the size of the component whose label (root vertex id) is ``c``
+    (zero elsewhere).  This is the distributed contig-index -> size map of
+    §4.2.
+    """
+    grid, world = labels.grid, labels.grid.world
+    n = labels.n
+    per_rank_counts = []
+    for rank, blk in enumerate(labels.blocks):
+        counts = np.bincount(blk, minlength=n).astype(np.int64)
+        per_rank_counts.append(counts)
+        world.charge_compute(rank, blk.size + n)
+    scattered = world.comm.reduce_scatter(
+        per_rank_counts, block_sizes=list(grid.vec_sizes(n))
+    )
+    return DistVector(grid, n, scattered)

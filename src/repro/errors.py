@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while letting
+genuine programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CommunicatorError(ReproError):
+    """Invalid use of the simulated MPI layer (bad rank, mismatched sizes)."""
+
+
+class GridError(ReproError):
+    """Process-grid construction failed (e.g. rank count is not a square)."""
+
+
+class SparseFormatError(ReproError):
+    """A sparse matrix was built from or converted into an invalid state."""
+
+
+class SemiringError(ReproError):
+    """A semiring operation was applied to incompatible payload dtypes."""
+
+
+class DistributionError(ReproError):
+    """Distributed object invariants violated (block sizes, alignment)."""
+
+
+class SequenceError(ReproError):
+    """Invalid DNA sequence content or malformed FASTA input."""
+
+
+class KmerError(ReproError):
+    """k-mer codec misuse (k out of range, invalid symbol)."""
+
+
+class AlignmentError(ReproError):
+    """Pairwise alignment preconditions violated."""
+
+
+class AssemblyError(ReproError):
+    """Contig generation invariants violated (e.g. non-linear local graph)."""
+
+
+class PipelineError(ReproError):
+    """End-to-end pipeline configuration or stage-ordering error."""

@@ -1,0 +1,16 @@
+"""Standard interchange formats for downstream tools.
+
+Real long-read assemblers interoperate through two text formats, both
+supported here so the pipeline's intermediate and final products can be
+inspected with standard tooling (Bandage, gfatools, miniasm ecosystem):
+
+* :mod:`repro.export.gfa` -- the string graph and contig paths as
+  **GFA 1** (``S``/``L``/``P`` lines), the assembly-graph exchange format;
+* :mod:`repro.export.paf` -- the overlap graph as **PAF** (pairwise
+  alignment format), minimap/miniasm's overlap interchange.
+"""
+
+from .gfa import gfa_lines, write_gfa
+from .paf import paf_lines, write_paf
+
+__all__ = ["gfa_lines", "write_gfa", "paf_lines", "write_paf"]

@@ -1,0 +1,89 @@
+"""PAF export of the overlap graph (minimap/miniasm interchange).
+
+Each undirected dovetail edge of **R** (or **S**) becomes one PAF record.
+Coordinates are reconstructed from the stored payloads: the overlap length
+on each read is its length minus the *other* direction's suffix (the
+overhang), and the overlap sits at the suffix or prefix end according to
+the edge's direction bits.  Relative strand is ``+`` exactly when the two
+end bits differ (a pass-through edge: both reads traversed the same way).
+
+Columns follow the PAF spec: query name/length/start/end, strand, target
+name/length/start/end, residue matches, alignment block length, mapping
+quality (255 = unavailable -- no per-base alignment is retained in the
+sparse payloads).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import DistributionError
+from ..sparse.distmat import DistSparseMatrix
+from ..strgraph.edgecodec import dst_end_bit, src_end_bit
+from .gfa import _read_lookup
+
+__all__ = ["paf_lines", "write_paf"]
+
+
+def _interval(length: int, overlap: int, at_suffix: bool) -> tuple[int, int]:
+    """Half-open [start, end) of an overlap at one end of a read."""
+    overlap = max(0, min(overlap, length))
+    return (length - overlap, length) if at_suffix else (0, overlap)
+
+
+def paf_lines(R: DistSparseMatrix, reads) -> Iterator[str]:
+    """Yield one PAF record per undirected edge of the overlap matrix.
+
+    ``reads`` must supply every incident read's sequence (lengths are
+    taken from it); raises if an edge references a missing read.
+    """
+    lookup = _read_lookup(reads)
+    rows, cols, vals = R.to_global_coo()
+    # index the mirror edges so each pair yields both suffixes
+    mirror: dict[tuple[int, int], np.void] = {}
+    for u, v, rec in zip(rows, cols, vals):
+        mirror[(int(u), int(v))] = rec
+
+    for (u, v), rec in mirror.items():
+        if u >= v:
+            continue
+        rec_vu = mirror.get((v, u))
+        if u not in lookup or v not in lookup:
+            raise DistributionError(
+                f"edge ({u}, {v}) references a read missing from the store"
+            )
+        len_u, len_v = lookup[u].size, lookup[v].size
+        d_uv = int(rec["dir"])
+        # overlap on v: v's bases minus the overhang beyond the overlap
+        ov_v = len_v - int(rec["suffix"])
+        # overlap on u comes from the mirrored record when present
+        ov_u = len_u - int(rec_vu["suffix"]) if rec_vu is not None else ov_v
+        u_at_suffix = bool(src_end_bit(d_uv))
+        v_at_suffix = bool(dst_end_bit(d_uv))
+        strand = "+" if u_at_suffix != v_at_suffix else "-"
+        qs, qe = _interval(len_u, ov_u, u_at_suffix)
+        ts, te = _interval(len_v, ov_v, v_at_suffix)
+        matches = min(qe - qs, te - ts)
+        block = max(qe - qs, te - ts)
+        yield (
+            f"read{u}\t{len_u}\t{qs}\t{qe}\t{strand}\t"
+            f"read{v}\t{len_v}\t{ts}\t{te}\t{matches}\t{block}\t255"
+        )
+
+
+def write_paf(path, R: DistSparseMatrix, reads) -> int:
+    """Write PAF records to a path or handle; returns the record count."""
+    own = not hasattr(path, "write")
+    handle = open(Path(path), "w", encoding="ascii") if own else path
+    count = 0
+    try:
+        for line in paf_lines(R, reads):
+            handle.write(line + "\n")
+            count += 1
+    finally:
+        if own:
+            handle.close()
+    return count

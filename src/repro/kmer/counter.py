@@ -1,0 +1,195 @@
+"""Distributed k-mer counting with a reliable-k-mer filter (``KmerCounter``).
+
+The standard owner-computes pattern of diBELLA/HipMer-family assemblers:
+
+1. every rank extracts the canonical k-mers of its local reads;
+2. a hash of the k-mer value assigns each k-mer an *owner* rank;
+   one all-to-all routes the k-mers to their owners;
+3. owners count occurrences and keep only **reliable** k-mers -- those whose
+   multiplicity lies in ``[reliable_lo, reliable_hi]``.  Singletons are
+   almost surely sequencing errors; k-mers far above the coverage depth come
+   from repeats and would densify the overlap matrix with false candidates;
+4. owners number their retained k-mers into a global contiguous id space
+   (exclusive scan over per-owner counts), so k-mers become matrix columns.
+
+The resulting :class:`KmerTable` answers distributed id lookups (a second
+request/response all-to-all), which is how the matrix-A builder turns k-mer
+occurrences into column indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import KmerError
+from ..mpi.grid import ProcGrid
+from ..util import sorted_lookup
+from ..seq.readstore import DistReadStore
+from .codec import canonical_kmers, encode_kmers
+
+__all__ = ["KmerTable", "count_kmers"]
+
+_MIX = np.uint64(0x9E3779B97F4A7C15)
+
+
+def _owner_of(kmers: np.ndarray, nprocs: int) -> np.ndarray:
+    """Hash-partition k-mer values over ranks (splitmix-style mixing)."""
+    x = kmers * _MIX
+    x ^= x >> np.uint64(29)
+    x *= np.uint64(0xBF58476D1CE4E5B9)
+    x ^= x >> np.uint64(32)
+    return (x % np.uint64(nprocs)).astype(np.int64)
+
+
+@dataclass
+class KmerTable:
+    """Reliable canonical k-mers with their global column ids.
+
+    ``kmers_by_owner[o]`` is the sorted array of k-mer values owned by rank
+    ``o``; its ids are ``offsets[o] + arange(len)``.
+    """
+
+    grid: ProcGrid
+    k: int
+    kmers_by_owner: list[np.ndarray]
+    counts_by_owner: list[np.ndarray]
+    offsets: np.ndarray  # exclusive scan of per-owner retained counts
+
+    @property
+    def total(self) -> int:
+        """Number of reliable k-mers = columns of matrix A."""
+        return int(self.offsets[-1])
+
+    def lookup(self, requests: list[np.ndarray]) -> list[np.ndarray]:
+        """Resolve k-mer values to global ids (-1 = not reliable).
+
+        ``requests[r]`` are rank r's k-mer values; one all-to-all routes
+        them to owners, owners bisect their sorted tables, and a second
+        all-to-all returns the ids in request order.
+        """
+        grid, world = self.grid, self.grid.world
+        P = grid.nprocs
+        send: list[list[np.ndarray]] = [[None] * P for _ in range(P)]
+        perms = []
+        for r in range(P):
+            vals = np.asarray(requests[r], dtype=np.uint64)
+            owner = _owner_of(vals, P)
+            perm = np.argsort(owner, kind="stable")
+            perms.append(perm)
+            svals, sowner = vals[perm], owner[perm]
+            counts = np.bincount(sowner, minlength=P)
+            bounds = np.zeros(P + 1, dtype=np.int64)
+            np.cumsum(counts, out=bounds[1:])
+            for o in range(P):
+                send[r][o] = svals[bounds[o] : bounds[o + 1]]
+            world.charge_compute(r, vals.size)
+        recv = world.comm.alltoall(send)
+        reply: list[list[np.ndarray]] = [[None] * P for _ in range(P)]
+        for o in range(P):
+            table = self.kmers_by_owner[o]
+            base = self.offsets[o]
+            for r in range(P):
+                vals = recv[o][r]
+                hit, pos = sorted_lookup(table, vals)
+                ids = np.where(hit, base + pos, np.int64(-1))
+                reply[o][r] = ids.astype(np.int64)
+            world.charge_compute(o, sum(v.size for v in recv[o]))
+        answers = world.comm.alltoall(reply)
+        out = []
+        for r in range(P):
+            flat = (
+                np.concatenate(answers[r])
+                if any(a.size for a in answers[r])
+                else np.empty(0, dtype=np.int64)
+            )
+            restored = np.empty_like(flat)
+            restored[perms[r]] = flat
+            out.append(restored)
+        return out
+
+
+def count_kmers(
+    reads: DistReadStore,
+    k: int,
+    reliable_lo: int = 2,
+    reliable_hi: int | None = None,
+) -> KmerTable:
+    """Count canonical k-mers across all ranks and build the reliable table.
+
+    Parameters
+    ----------
+    reads:
+        The block-distributed read store.
+    k:
+        k-mer length (<= 31).
+    reliable_lo, reliable_hi:
+        Multiplicity bounds of the reliable-k-mer filter.  ``reliable_hi``
+        of None disables the upper bound.
+    """
+    if reliable_lo < 1:
+        raise KmerError(f"reliable_lo must be >= 1, got {reliable_lo}")
+    if reliable_hi is not None and reliable_hi < reliable_lo:
+        raise KmerError(
+            f"reliable_hi ({reliable_hi}) < reliable_lo ({reliable_lo})"
+        )
+    grid, world = reads.grid, reads.grid.world
+    P = grid.nprocs
+
+    # 1-2) extract canonical k-mers and route to hash owners
+    send: list[list[np.ndarray]] = [[None] * P for _ in range(P)]
+    for r in range(P):
+        shard = reads.shards[r]
+        parts = []
+        for i in range(shard.count):
+            kmers = encode_kmers(shard.codes(i), k)
+            if kmers.size:
+                canon, _orient = canonical_kmers(kmers, k)
+                parts.append(canon)
+        mine = (
+            np.concatenate(parts) if parts else np.empty(0, dtype=np.uint64)
+        )
+        owner = _owner_of(mine, P)
+        perm = np.argsort(owner, kind="stable")
+        mine, owner = mine[perm], owner[perm]
+        counts = np.bincount(owner, minlength=P)
+        bounds = np.zeros(P + 1, dtype=np.int64)
+        np.cumsum(counts, out=bounds[1:])
+        for o in range(P):
+            send[r][o] = mine[bounds[o] : bounds[o + 1]]
+        world.charge_compute(r, shard.total_bases * 2)
+    recv = world.comm.alltoall(send)
+
+    # 3) owners count and filter
+    kmers_by_owner: list[np.ndarray] = []
+    counts_by_owner: list[np.ndarray] = []
+    retained = np.zeros(P, dtype=np.int64)
+    for o in range(P):
+        pieces = [p for p in recv[o] if p.size]
+        if pieces:
+            allk = np.concatenate(pieces)
+            uniq, cnt = np.unique(allk, return_counts=True)
+            keep = cnt >= reliable_lo
+            if reliable_hi is not None:
+                keep &= cnt <= reliable_hi
+            uniq, cnt = uniq[keep], cnt[keep]
+        else:
+            uniq = np.empty(0, dtype=np.uint64)
+            cnt = np.empty(0, dtype=np.int64)
+        kmers_by_owner.append(uniq)
+        counts_by_owner.append(cnt.astype(np.int64))
+        retained[o] = uniq.size
+        world.charge_compute(o, sum(p.size for p in recv[o]) + uniq.size)
+
+    # 4) global contiguous ids via exclusive scan (allgather of counts)
+    gathered = world.comm.allgather([int(x) for x in retained])
+    offsets = np.zeros(P + 1, dtype=np.int64)
+    np.cumsum(np.asarray(gathered, dtype=np.int64), out=offsets[1:])
+    return KmerTable(
+        grid=grid,
+        k=k,
+        kmers_by_owner=kmers_by_owner,
+        counts_by_owner=counts_by_owner,
+        offsets=offsets,
+    )

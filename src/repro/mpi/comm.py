@@ -1,0 +1,369 @@
+"""Lockstep SPMD communicator simulating MPI inside one Python process.
+
+Real ELBA runs one MPI rank per core; here the whole rank set is simulated
+deterministically.  Distributed algorithms are written in bulk-synchronous
+style: a loop over ranks performs each rank's *local* computation on its own
+block, then a single collective call moves data between ranks.  Collectives
+take per-rank inputs (a list indexed by communicator-local rank), return
+per-rank outputs, move the payloads byte-exactly, and charge modeled seconds
+from the active :class:`~repro.mpi.costmodel.MachineModel` to every
+participating rank under the currently open pipeline stage.
+
+Conventions follow mpi4py where sensible: ``bcast``/``allgather``/
+``alltoall`` communicate generic objects; sizes are computed from NumPy
+buffer lengths where available.  Returned objects may alias the sender's
+objects (the simulator lives in one address space); distributed code must
+not mutate received payloads in place, mirroring MPI's treatment of receive
+buffers as owned data.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, Sequence
+
+import numpy as np
+
+from ..errors import CommunicatorError
+from .costmodel import MachineModel, zero_cost
+from .memory import MemoryMeter
+from .stats import CommEvent, CommLog, StageClock
+
+__all__ = ["payload_nbytes", "SimWorld", "SimComm", "block_range", "block_sizes"]
+
+
+def payload_nbytes(obj: Any) -> int:
+    """Approximate wire size of a payload in bytes.
+
+    NumPy arrays and ``bytes`` report exact buffer sizes; containers sum
+    their elements; scalars count as 8 bytes.  This is the size the cost
+    model charges for -- a faithful proxy for what mpi4py would serialize.
+    """
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj)
+    if isinstance(obj, (int, float, np.integer, np.floating, bool)):
+        return 8
+    if isinstance(obj, dict):
+        return sum(payload_nbytes(k) + payload_nbytes(v) for k, v in obj.items())
+    if isinstance(obj, (list, tuple)):
+        return sum(payload_nbytes(x) for x in obj)
+    # dataclass-like objects: charge for their public attributes
+    if hasattr(obj, "__dict__"):
+        return payload_nbytes(vars(obj))
+    return 8
+
+
+def block_range(n: int, parts: int, index: int) -> tuple[int, int]:
+    """Half-open range ``[lo, hi)`` of block ``index`` when ``n`` items are
+    split into ``parts`` near-equal consecutive blocks (remainder spread over
+    the leading blocks, the standard MPI block distribution)."""
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    if not 0 <= index < parts:
+        raise IndexError(f"block index {index} out of range [0, {parts})")
+    base, rem = divmod(n, parts)
+    lo = index * base + min(index, rem)
+    hi = lo + base + (1 if index < rem else 0)
+    return lo, hi
+
+
+def block_sizes(n: int, parts: int) -> np.ndarray:
+    """Sizes of all blocks of the distribution used by :func:`block_range`."""
+    base, rem = divmod(n, parts)
+    sizes = np.full(parts, base, dtype=np.int64)
+    sizes[:rem] += 1
+    return sizes
+
+
+def block_owner(n: int, parts: int, index: np.ndarray | int):
+    """Owner block of item ``index`` under the :func:`block_range` layout."""
+    base, rem = divmod(n, parts)
+    idx = np.asarray(index, dtype=np.int64)
+    split = (base + 1) * rem  # first item owned by a small block
+    if base == 0:
+        owner = np.where(idx < split, idx // max(base + 1, 1), rem)
+    else:
+        owner = np.where(
+            idx < split,
+            idx // (base + 1),
+            rem + (idx - split) // base,
+        )
+    return owner if isinstance(index, np.ndarray) else int(owner)
+
+
+class SimWorld:
+    """The simulated machine: P ranks, a cost model, clocks and logs."""
+
+    def __init__(self, nprocs: int, machine: MachineModel | None = None) -> None:
+        if nprocs < 1:
+            raise CommunicatorError(f"world size must be >= 1, got {nprocs}")
+        self.nprocs = nprocs
+        self.machine = machine if machine is not None else zero_cost()
+        self.clock = StageClock(nprocs)
+        self.log = CommLog()
+        self.memory = MemoryMeter(nprocs)
+        self._stage_stack: list[str] = ["default"]
+        self.comm = SimComm(self, list(range(nprocs)), label="world")
+
+    # -- stage scoping ----------------------------------------------------
+    @property
+    def stage(self) -> str:
+        return self._stage_stack[-1]
+
+    @contextmanager
+    def stage_scope(self, name: str) -> Iterator[None]:
+        """Attribute all charges inside the block to pipeline stage ``name``."""
+        self._stage_stack.append(name)
+        try:
+            yield
+        finally:
+            self._stage_stack.pop()
+
+    # -- compute charging ---------------------------------------------------
+    def charge_compute(self, rank: int, ops: float, kind: str = "default") -> None:
+        """Charge ``ops`` elementary operations of local work to one rank."""
+        seconds = self.machine.op_time(ops, kind=kind)
+        if seconds:
+            self.clock.charge_compute(self.stage, rank, seconds)
+
+    def charge_compute_all(self, ops_per_rank: Sequence[float], kind: str = "default") -> None:
+        """Charge per-rank op counts in one call."""
+        if len(ops_per_rank) != self.nprocs:
+            raise CommunicatorError(
+                f"expected {self.nprocs} op counts, got {len(ops_per_rank)}"
+            )
+        for rank, ops in enumerate(ops_per_rank):
+            self.charge_compute(rank, ops, kind=kind)
+
+    def observe_memory(self, rank: int, nbytes: float) -> None:
+        """Record one working-set sample under the current stage, scaled by
+        the machine's ``volume_scale`` (modeled bytes extrapolate to paper-
+        sized inputs the same way modeled seconds do)."""
+        self.memory.observe(
+            rank, nbytes * self.machine.volume_scale, stage=self.stage
+        )
+
+    def subcomm(self, ranks: Sequence[int], label: str = "sub") -> "SimComm":
+        """Create a communicator over a subset of world ranks."""
+        return SimComm(self, list(ranks), label=label)
+
+
+class SimComm:
+    """A communicator over a subset of the world's ranks.
+
+    All collective methods take *per-local-rank* inputs ordered by the
+    communicator's own rank numbering and return per-local-rank outputs.
+    """
+
+    def __init__(self, world: SimWorld, ranks: list[int], label: str = "comm") -> None:
+        if not ranks:
+            raise CommunicatorError("communicator must contain at least one rank")
+        if len(set(ranks)) != len(ranks):
+            raise CommunicatorError(f"duplicate ranks in communicator: {ranks}")
+        for r in ranks:
+            if not 0 <= r < world.nprocs:
+                raise CommunicatorError(f"rank {r} outside world of {world.nprocs}")
+        self.world = world
+        self.ranks = list(ranks)
+        self.label = label
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    def local_rank(self, world_rank: int) -> int:
+        """Translate a world rank into this communicator's numbering."""
+        try:
+            return self.ranks.index(world_rank)
+        except ValueError:
+            raise CommunicatorError(
+                f"world rank {world_rank} not in communicator {self.label}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def _check_input(self, per_rank: Sequence[Any], what: str) -> None:
+        if len(per_rank) != self.size:
+            raise CommunicatorError(
+                f"{what} expects {self.size} per-rank entries, got {len(per_rank)}"
+            )
+
+    def _charge(self, op: str, total_bytes: int, max_bytes: int, messages: int) -> None:
+        machine = self.world.machine
+        if op == "ptp":
+            seconds = machine.ptp_time(total_bytes, messages)
+        else:
+            seconds = machine.collective_time(op, self.size, total_bytes, max_bytes)
+        self.world.clock.charge_comm_all(self.world.stage, seconds, ranks=self.ranks)
+        self.world.log.record(
+            CommEvent(
+                op=op,
+                stage=self.world.stage,
+                nprocs=self.size,
+                total_bytes=int(total_bytes),
+                max_bytes=int(max_bytes),
+                messages=messages,
+                modeled_seconds=seconds,
+            )
+        )
+
+    # -- collectives -----------------------------------------------------
+    def barrier(self) -> None:
+        self._charge("barrier", 0, 0, self.size)
+
+    def bcast(self, obj: Any, root: int = 0) -> list[Any]:
+        """Broadcast ``obj`` from local rank ``root``; returns one copy per rank."""
+        if not 0 <= root < self.size:
+            raise CommunicatorError(f"root {root} out of range [0, {self.size})")
+        m = payload_nbytes(obj)
+        self._charge("bcast", m * max(self.size - 1, 0), m, self.size - 1)
+        return [obj] * self.size
+
+    def gather(self, per_rank: Sequence[Any], root: int = 0) -> list[Any]:
+        """Gather one object from each rank to ``root`` (returned as a list)."""
+        self._check_input(per_rank, "gather")
+        if not 0 <= root < self.size:
+            raise CommunicatorError(f"root {root} out of range [0, {self.size})")
+        sizes = [payload_nbytes(x) for x in per_rank]
+        self._charge("gather", sum(sizes), max(sizes, default=0), self.size - 1)
+        return list(per_rank)
+
+    def allgather(self, per_rank: Sequence[Any]) -> list[Any]:
+        """Every rank receives the full list of per-rank objects."""
+        self._check_input(per_rank, "allgather")
+        sizes = [payload_nbytes(x) for x in per_rank]
+        self._charge("allgather", sum(sizes), max(sizes, default=0), self.size - 1)
+        return list(per_rank)
+
+    def scatter(self, objs: Sequence[Any], root: int = 0) -> list[Any]:
+        """Rank ``root`` distributes one object to each rank."""
+        self._check_input(objs, "scatter")
+        sizes = [payload_nbytes(x) for x in objs]
+        self._charge("scatter", sum(sizes), max(sizes, default=0), self.size - 1)
+        return list(objs)
+
+    def alltoall(self, send: Sequence[Sequence[Any]]) -> list[list[Any]]:
+        """Personalized all-to-all: ``recv[j][i] = send[i][j]``."""
+        self._check_input(send, "alltoall")
+        for i, row in enumerate(send):
+            if len(row) != self.size:
+                raise CommunicatorError(
+                    f"alltoall send row {i} has {len(row)} entries, expected {self.size}"
+                )
+        per_rank_bytes = [
+            sum(payload_nbytes(x) for j, x in enumerate(row) if j != i)
+            for i, row in enumerate(send)
+        ]
+        self._charge(
+            "alltoallv",
+            sum(per_rank_bytes),
+            max(per_rank_bytes, default=0),
+            self.size * (self.size - 1),
+        )
+        return [[send[i][j] for i in range(self.size)] for j in range(self.size)]
+
+    def allreduce(self, per_rank: Sequence[Any], op: Callable[[Any, Any], Any]) -> Any:
+        """Reduce per-rank values with ``op``; every rank gets the result."""
+        self._check_input(per_rank, "allreduce")
+        sizes = [payload_nbytes(x) for x in per_rank]
+        self._charge("allreduce", sum(sizes), max(sizes, default=0), self.size - 1)
+        acc = per_rank[0]
+        for val in per_rank[1:]:
+            acc = op(acc, val)
+        return acc
+
+    def reduce(self, per_rank: Sequence[Any], op: Callable[[Any, Any], Any], root: int = 0) -> Any:
+        """Reduce per-rank values to ``root``."""
+        self._check_input(per_rank, "reduce")
+        if not 0 <= root < self.size:
+            raise CommunicatorError(f"root {root} out of range [0, {self.size})")
+        sizes = [payload_nbytes(x) for x in per_rank]
+        self._charge("reduce", sum(sizes), max(sizes, default=0), self.size - 1)
+        acc = per_rank[0]
+        for val in per_rank[1:]:
+            acc = op(acc, val)
+        return acc
+
+    def reduce_scatter(
+        self,
+        per_rank_arrays: Sequence[np.ndarray],
+        block_sizes: Sequence[int] | None = None,
+    ) -> list[np.ndarray]:
+        """Elementwise-sum P same-length arrays, scatter result blocks.
+
+        This is the collective the paper uses to turn per-rank local contig
+        size counts into a distributed map of global contig sizes (§4.2).
+        ``block_sizes`` overrides the default near-equal split (callers with
+        a nested grid layout pass their own block sizes).
+        """
+        self._check_input(per_rank_arrays, "reduce_scatter")
+        if block_sizes is not None and len(block_sizes) != self.size:
+            raise CommunicatorError(
+                f"reduce_scatter expects {self.size} block sizes, "
+                f"got {len(block_sizes)}"
+            )
+        first = np.asarray(per_rank_arrays[0])
+        total = first.copy()
+        for arr in per_rank_arrays[1:]:
+            arr = np.asarray(arr)
+            if arr.shape != first.shape:
+                raise CommunicatorError(
+                    f"reduce_scatter shape mismatch: {arr.shape} vs {first.shape}"
+                )
+            total = total + arr
+        nbytes = sum(int(np.asarray(a).nbytes) for a in per_rank_arrays)
+        self._charge("reduce_scatter", nbytes, int(first.nbytes), self.size - 1)
+        n = total.shape[0]
+        out = []
+        if block_sizes is None:
+            for i in range(self.size):
+                lo, hi = block_range(n, self.size, i)
+                out.append(total[lo:hi].copy())
+        else:
+            if int(sum(block_sizes)) != n:
+                raise CommunicatorError(
+                    f"block sizes sum to {sum(block_sizes)}, expected {n}"
+                )
+            lo = 0
+            for size in block_sizes:
+                out.append(total[lo : lo + size].copy())
+                lo += size
+        return out
+
+    # -- point-to-point ----------------------------------------------------
+    def sendrecv(self, payloads: Sequence[Any], partners: Sequence[int]) -> list[Any]:
+        """Pairwise exchange: rank ``i`` sends ``payloads[i]`` to local rank
+        ``partners[i]`` and receives whatever its partner sent.
+
+        ``partners`` must be an involution (``partners[partners[i]] == i``);
+        a rank may partner with itself (no traffic charged for self-sends).
+        This is the transposed-processor exchange of the induced-subgraph
+        algorithm (Fig. 2 of the paper).
+        """
+        self._check_input(payloads, "sendrecv")
+        self._check_input(partners, "sendrecv partners")
+        for i, j in enumerate(partners):
+            if not 0 <= j < self.size:
+                raise CommunicatorError(f"partner {j} out of range")
+            if partners[j] != i:
+                raise CommunicatorError(
+                    f"partners must be an involution: partners[{i}]={j} "
+                    f"but partners[{j}]={partners[j]}"
+                )
+        nbytes = sum(
+            payload_nbytes(payloads[i]) for i, j in enumerate(partners) if i != j
+        )
+        messages = sum(1 for i, j in enumerate(partners) if i != j)
+        if messages:
+            sizes = [
+                payload_nbytes(payloads[i])
+                for i, j in enumerate(partners)
+                if i != j
+            ]
+            self._charge("ptp", nbytes, max(sizes, default=0), messages)
+        return [payloads[partners[i]] for i in range(self.size)]

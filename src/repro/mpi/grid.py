@@ -1,0 +1,126 @@
+"""Square process grid: the 2D rank layout all distributed matrices use.
+
+ELBA organizes its P processes logically as a sqrt(P) x sqrt(P) grid
+(§4.3).  Matrix rows are split over grid rows and matrix columns over grid
+columns; vectors are split P ways in rank order.  The grid also provides the
+row/column sub-communicators used by SUMMA SpGEMM and by the
+induced-subgraph algorithm's row-dimension allgather, plus the *transposed
+processor* partner map used for its point-to-point step.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import GridError
+from .comm import SimComm, SimWorld, block_range, block_sizes
+
+__all__ = ["ProcGrid"]
+
+
+class ProcGrid:
+    """A sqrt(P) x sqrt(P) logical grid over a :class:`SimWorld`.
+
+    Rank ``r`` sits at coordinates ``(r // q, r % q)`` (row-major), matching
+    CombBLAS's default layout.  ``P`` must be a perfect square.
+    """
+
+    def __init__(self, world: SimWorld) -> None:
+        q = math.isqrt(world.nprocs)
+        if q * q != world.nprocs:
+            raise GridError(
+                f"process count {world.nprocs} is not a perfect square; "
+                f"ELBA requires a sqrt(P) x sqrt(P) grid"
+            )
+        self.world = world
+        self.q = q
+        self.nprocs = world.nprocs
+        self.row_comms: list[SimComm] = [
+            world.subcomm([self.rank_of(i, j) for j in range(q)], label=f"row{i}")
+            for i in range(q)
+        ]
+        self.col_comms: list[SimComm] = [
+            world.subcomm([self.rank_of(i, j) for i in range(q)], label=f"col{j}")
+            for j in range(q)
+        ]
+
+    # -- coordinates ------------------------------------------------------
+    def rank_of(self, i: int, j: int) -> int:
+        """World rank of grid position ``(i, j)``."""
+        if not (0 <= i < self.q and 0 <= j < self.q):
+            raise GridError(f"grid position ({i}, {j}) outside {self.q}x{self.q}")
+        return i * self.q + j
+
+    def coords_of(self, rank: int) -> tuple[int, int]:
+        """Grid position ``(i, j)`` of world rank ``rank``."""
+        if not 0 <= rank < self.nprocs:
+            raise GridError(f"rank {rank} outside grid of {self.nprocs}")
+        return divmod(rank, self.q)
+
+    def transpose_rank(self, rank: int) -> int:
+        """The *transposed processor* P(j, i) of rank P(i, j) (Fig. 2)."""
+        i, j = self.coords_of(rank)
+        return self.rank_of(j, i)
+
+    def transpose_partners(self) -> list[int]:
+        """Partner map for :meth:`SimComm.sendrecv` pairing P(i,j) with P(j,i)."""
+        return [self.transpose_rank(r) for r in range(self.nprocs)]
+
+    # -- block distributions -----------------------------------------------
+    def row_block(self, n: int, i: int) -> tuple[int, int]:
+        """Global row range owned by grid row ``i`` for an ``n``-row matrix."""
+        return block_range(n, self.q, i)
+
+    def col_block(self, n: int, j: int) -> tuple[int, int]:
+        """Global column range owned by grid column ``j``."""
+        return block_range(n, self.q, j)
+
+    def vec_block(self, n: int, rank: int) -> tuple[int, int]:
+        """Global index range of the vector sub-block owned by ``rank``.
+
+        Vectors are split P ways (§4.3: "the vector v ... is divided into P
+        subvectors, each of size ~ n/P"), but *hierarchically*, as CombBLAS
+        does: rank P(i, j) owns the j-th q-way sub-block of grid row i's
+        matrix row block.  This nesting is what lets the induced-subgraph
+        algorithm reconstruct a full row block from one allgather over the
+        row communicator -- a flat P-way split would misalign whenever the
+        two remainders disagree.
+        """
+        i, j = self.coords_of(rank)
+        rlo, rhi = self.row_block(n, i)
+        slo, shi = block_range(rhi - rlo, self.q, j)
+        return rlo + slo, rlo + shi
+
+    def vec_sizes(self, n: int) -> np.ndarray:
+        """Sizes of all P vector sub-blocks, in rank order."""
+        sizes = np.empty(self.nprocs, dtype=np.int64)
+        for rank in range(self.nprocs):
+            lo, hi = self.vec_block(n, rank)
+            sizes[rank] = hi - lo
+        return sizes
+
+    def owner_of_row(self, n: int, row: np.ndarray | int):
+        """Grid row index owning global matrix row(s) ``row``."""
+        from .comm import block_owner
+
+        return block_owner(n, self.q, row)
+
+    def owner_of_vec(self, n: int, idx: np.ndarray | int):
+        """Rank owning vector element(s) ``idx`` under the nested layout."""
+        from .comm import block_owner
+
+        scalar = not isinstance(idx, np.ndarray)
+        arr = np.atleast_1d(np.asarray(idx, dtype=np.int64))
+        grid_row = np.asarray(block_owner(n, self.q, arr), dtype=np.int64)
+        owner = np.empty(arr.shape, dtype=np.int64)
+        for i in np.unique(grid_row):
+            rlo, rhi = self.row_block(n, int(i))
+            sel = grid_row == i
+            j = np.asarray(block_owner(rhi - rlo, self.q, arr[sel] - rlo))
+            owner[sel] = int(i) * self.q + j
+        return int(owner[0]) if scalar else owner
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProcGrid({self.q}x{self.q}, P={self.nprocs})"

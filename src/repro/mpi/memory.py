@@ -1,0 +1,87 @@
+"""Per-rank working-set tracking for the simulated runtime.
+
+The paper's future work (§7) includes *"reduc[ing] the memory consumption
+of ELBA so that we can assemble large genomes at low concurrency"*.  To
+evaluate that here, the simulator tracks the transient working set of the
+memory-dominant kernels: each kernel calls :meth:`MemoryMeter.observe` with
+its current live bytes per rank, and the meter keeps high-water marks per
+rank and per pipeline stage.
+
+This is *modeled* memory, like modeled time: it counts the bytes of the
+matrix blocks, broadcast buffers and partial products a real rank would
+hold live at the same point in the algorithm, scaled by the machine's
+``volume_scale`` so bench numbers extrapolate to paper-sized inputs the
+same way modeled seconds do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MemoryMeter"]
+
+
+class MemoryMeter:
+    """High-water-mark tracker for per-rank modeled working sets."""
+
+    def __init__(self, nprocs: int) -> None:
+        if nprocs < 1:
+            raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+        self.nprocs = nprocs
+        self._peak = np.zeros(nprocs, dtype=np.float64)
+        self._stage_peaks: dict[str, np.ndarray] = {}
+        self._order: list[str] = []
+
+    # ------------------------------------------------------------------
+    def observe(self, rank: int, nbytes: float, stage: str = "default") -> None:
+        """Record that ``rank`` currently holds ``nbytes`` of live payload."""
+        if not 0 <= rank < self.nprocs:
+            raise IndexError(f"rank {rank} out of range [0, {self.nprocs})")
+        if nbytes < 0:
+            raise ValueError(f"negative byte count: {nbytes}")
+        if nbytes > self._peak[rank]:
+            self._peak[rank] = nbytes
+        if stage not in self._stage_peaks:
+            self._stage_peaks[stage] = np.zeros(self.nprocs, dtype=np.float64)
+            self._order.append(stage)
+        bucket = self._stage_peaks[stage]
+        if nbytes > bucket[rank]:
+            bucket[rank] = nbytes
+
+    def observe_all(self, bytes_per_rank, stage: str = "default") -> None:
+        """Record one working-set sample for every rank."""
+        if len(bytes_per_rank) != self.nprocs:
+            raise ValueError(
+                f"expected {self.nprocs} byte counts, got {len(bytes_per_rank)}"
+            )
+        for rank, nbytes in enumerate(bytes_per_rank):
+            self.observe(rank, nbytes, stage=stage)
+
+    # ------------------------------------------------------------------
+    def peak(self, rank: int) -> float:
+        """Highest working set ever observed on one rank (bytes)."""
+        return float(self._peak[rank])
+
+    def peak_overall(self) -> float:
+        """Highest working set observed on any rank (bytes)."""
+        return float(self._peak.max()) if self.nprocs else 0.0
+
+    def peak_total(self) -> float:
+        """Sum of per-rank peaks: the aggregate footprint bound."""
+        return float(self._peak.sum())
+
+    def stages(self) -> list[str]:
+        return list(self._order)
+
+    def stage_peak(self, stage: str) -> float:
+        """Highest per-rank working set observed under one stage label."""
+        arr = self._stage_peaks.get(stage)
+        return float(arr.max()) if arr is not None else 0.0
+
+    def by_stage(self) -> dict[str, float]:
+        return {s: self.stage_peak(s) for s in self._order}
+
+    def reset(self) -> None:
+        self._peak[:] = 0.0
+        self._stage_peaks.clear()
+        self._order.clear()

@@ -1,0 +1,6 @@
+"""Overlap detection (C = A . A^T) and alignment-based filtering -> R."""
+
+from .detect import detect_overlaps
+from .filter import AlignmentParams, AlignmentStats, build_overlap_graph
+
+__all__ = ["detect_overlaps", "build_overlap_graph", "AlignmentParams", "AlignmentStats"]

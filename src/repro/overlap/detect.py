@@ -1,0 +1,38 @@
+"""Candidate overlap detection: ``C = A . A^T`` (Algorithm 1, line 6).
+
+The distributed SpGEMM contracts over the k-mer dimension with the *seed
+semiring*: every k-mer shared by two reads contributes one seed (position
+pair + strand agreement), duplicates are combined by counting and keeping a
+deterministic representative seed.  The diagonal (a read against itself) is
+excluded, and pairs sharing fewer than ``min_shared`` k-mers are pruned --
+BELLA's defense against chance collisions.
+"""
+
+from __future__ import annotations
+
+from ..sparse.distmat import DistSparseMatrix
+from ..sparse.semiring import seed_semiring
+
+__all__ = ["detect_overlaps"]
+
+
+def detect_overlaps(
+    A: DistSparseMatrix,
+    min_shared: int = 1,
+    merge_mode: str = "bulk",
+) -> DistSparseMatrix:
+    """Build the candidate overlap matrix C from the k-mer matrix A.
+
+    Returns a |reads| x |reads| matrix of :data:`SEED_DTYPE` entries; the
+    pattern is symmetric (both (i, j) and (j, i) are present).
+    ``merge_mode="stream"`` selects the low-memory SUMMA accumulation --
+    C = A.A^T is the pipeline's peak-memory kernel, so this is where the
+    paper's §7 memory-reduction plan bites.
+    """
+    At = A.transpose()
+    C = A.spgemm(
+        At, seed_semiring(), exclude_diagonal=True, merge_mode=merge_mode
+    )
+    if min_shared > 1:
+        C = C.prune(lambda v, r, c: v["count"] < min_shared)
+    return C

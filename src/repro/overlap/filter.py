@@ -1,0 +1,260 @@
+"""Alignment of candidate pairs and construction of the overlap graph **R**.
+
+Implements Algorithm 1 lines 7-9:
+
+* ``Apply(C, Alignment())`` -- every candidate pair is scored with x-drop
+  seed-and-extend;
+* ``Prune(C, AlignmentScoreLessThan(t))`` -- low-scoring and *internal*
+  (repeat-induced, mid-read) alignments are dropped;
+* ``Prune(R, IsContainedRead())`` -- reads fully contained in another read
+  are redundant vertices (§2) and their rows/columns are cleared.
+
+Each unordered pair is aligned exactly once: the upper triangle of the
+(pattern-symmetric) C supplies the task list.  Because the upper triangle
+concentrates in the above-diagonal blocks of the 2D grid, the tasks are
+first **redistributed round-robin** across ranks (one exclusive-scan
+allgather + one all-to-all) so alignment -- the most expensive stage of the
+pipeline -- stays load-balanced.  The classifier then emits *both* directed
+edge payloads per dovetail, and a final all-to-all routes them to their 2D
+block owners, rebuilding the full symmetric R with
+:data:`~repro.sparse.types.OVERLAP_DTYPE` entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..align.classify import OverlapClass, classify_overlap
+from ..align.xdrop import xdrop_extend
+from ..seq import dna
+from ..seq.readstore import DistReadStore
+from ..sparse.distmat import DistSparseMatrix
+from ..sparse.types import OVERLAP_DTYPE, SEED_DTYPE
+
+__all__ = ["AlignmentParams", "AlignmentStats", "build_overlap_graph"]
+
+
+@dataclass(frozen=True)
+class AlignmentParams:
+    """Knobs of the alignment + filtering stage.
+
+    ``xdrop`` matches the paper's ``x`` parameter (15 for the low-error
+    datasets, 7 for H. sapiens); ``mode`` selects the gapless or banded
+    engine; ``min_score`` is the pruning threshold ``t``; ``min_overlap``
+    rejects spurious short overlaps; ``end_margin`` is the dovetail
+    endpoint slack.
+    """
+
+    k: int
+    xdrop: int = 15
+    mode: str = "diag"
+    match: int = 1
+    mismatch: int = -1
+    min_score: int = 0
+    min_overlap: int = 0
+    end_margin: int = 10
+
+
+@dataclass
+class AlignmentStats:
+    """Outcome counts of the alignment stage.
+
+    ``contained_ids`` lists the global read ids pruned as redundant
+    vertices; downstream consumers (e.g. the scaffolding extension) use it
+    to tell absorbed sequences apart from merely unmerged ones.
+    """
+
+    pairs_aligned: int = 0
+    dovetails: int = 0
+    contained: int = 0
+    internal: int = 0
+    low_score: int = 0
+    contained_reads: int = 0
+    per_kind: dict = field(default_factory=dict)
+    contained_ids: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+
+
+def _best_score(vals: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    """Duplicate edge policy: keep the highest-scoring record."""
+    bounds = np.append(starts, vals.shape[0])
+    seg_ids = np.repeat(np.arange(starts.size, dtype=np.int64), np.diff(bounds))
+    order = np.lexsort((-vals["score"], seg_ids))
+    return vals[order[starts]].copy()
+
+
+def _redistribute_tasks(
+    C_upper: DistSparseMatrix,
+) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Round-robin the (i, j, seed) alignment tasks across ranks.
+
+    The upper triangle of C lives mostly in the above-diagonal grid blocks,
+    so aligning in place would idle half the ranks.  A global round-robin by
+    task index (exclusive scan over per-rank counts, then one all-to-all)
+    restores balance at the cost of shipping the small seed payloads.
+    """
+    grid, world = C_upper.grid, C_upper.grid.world
+    P = grid.nprocs
+    counts = [blk.nnz for blk in C_upper.blocks]
+    gathered = world.comm.allgather([int(c) for c in counts])
+    offsets = np.zeros(P + 1, dtype=np.int64)
+    np.cumsum(np.asarray(gathered, dtype=np.int64), out=offsets[1:])
+
+    send: list[list[tuple]] = [[None] * P for _ in range(P)]
+    for rank, blk in enumerate(C_upper.blocks):
+        rlo, clo = C_upper.block_offsets(rank)
+        gi = blk.rows + rlo
+        gj = blk.cols + clo
+        task_ids = offsets[rank] + np.arange(blk.nnz, dtype=np.int64)
+        dest = task_ids % P
+        for o in range(P):
+            sel = dest == o
+            send[rank][o] = (gi[sel], gj[sel], blk.vals[sel])
+        world.charge_compute(rank, blk.nnz)
+    recv = world.comm.alltoall(send)
+
+    tasks = []
+    for rank in range(P):
+        gis = [t[0] for t in recv[rank]]
+        gjs = [t[1] for t in recv[rank]]
+        vs = [t[2] for t in recv[rank]]
+        tasks.append(
+            (
+                np.concatenate(gis) if gis else np.empty(0, dtype=np.int64),
+                np.concatenate(gjs) if gjs else np.empty(0, dtype=np.int64),
+                np.concatenate(vs) if vs else np.empty(0, dtype=SEED_DTYPE),
+            )
+        )
+    return tasks
+
+
+def build_overlap_graph(
+    C: DistSparseMatrix,
+    reads: DistReadStore,
+    params: AlignmentParams,
+) -> tuple[DistSparseMatrix, AlignmentStats]:
+    """Align candidates and return the pruned overlap graph R plus stats."""
+    grid, world = C.grid, C.grid.world
+    P = grid.nprocs
+    stats = AlignmentStats()
+
+    # upper triangle only: each unordered pair aligned exactly once;
+    # then rebalance the tasks round-robin across ranks
+    upper = C.prune(lambda v, r, c: r >= c)
+    tasks = _redistribute_tasks(upper)
+
+    # which reads does each rank need for its tasks?
+    requests = []
+    for rank in range(P):
+        gi, gj, _ = tasks[rank]
+        requests.append(
+            np.unique(np.concatenate([gi, gj]))
+            if gi.size
+            else np.empty(0, dtype=np.int64)
+        )
+    fetched = reads.fetch(requests)
+
+    # per-rank alignment loop
+    triples = []
+    contained_per_rank: list[set[int]] = [set() for _ in range(P)]
+    for rank in range(P):
+        gi_arr, gj_arr, seeds = tasks[rank]
+        local = fetched[rank]
+        src, dst, vals = [], [], []
+        aligned_bases = 0
+        for e in range(gi_arr.size):
+            gi = int(gi_arr[e])
+            gj = int(gj_arr[e])
+            seed = seeds[e]
+            a = local.codes(local.index_of(gi))
+            b = local.codes(local.index_of(gj))
+            same = bool(seed["same_strand"])
+            if same:
+                b_oriented = b
+                seed_b = int(seed["pos_b"])
+            else:
+                b_oriented = dna.revcomp(b)
+                seed_b = b.size - params.k - int(seed["pos_b"])
+            res = xdrop_extend(
+                a,
+                b_oriented,
+                int(seed["pos_a"]),
+                seed_b,
+                params.k,
+                params.xdrop,
+                mode=params.mode,
+                match=params.match,
+                mismatch=params.mismatch,
+            )
+            aligned_bases += res.a_span + res.b_span
+            stats.pairs_aligned += 1
+            if res.score < params.min_score or min(res.a_span, res.b_span) < params.min_overlap:
+                stats.low_score += 1
+                continue
+            info = classify_overlap(
+                res, a.size, b.size, same, end_margin=params.end_margin
+            )
+            if info.kind == OverlapClass.CONTAINED_A:
+                contained_per_rank[rank].add(gi)
+                stats.contained += 1
+                continue
+            if info.kind == OverlapClass.CONTAINED_B:
+                contained_per_rank[rank].add(gj)
+                stats.contained += 1
+                continue
+            if info.kind == OverlapClass.INTERNAL:
+                stats.internal += 1
+                continue
+            stats.dovetails += 1
+            for u, v, fields in (
+                (gi, gj, info.forward),
+                (gj, gi, info.reverse),
+            ):
+                rec = np.zeros(1, dtype=OVERLAP_DTYPE)
+                rec["dir"] = fields.direction
+                rec["suffix"] = fields.suffix
+                rec["pre"] = fields.pre
+                rec["post"] = fields.post
+                rec["score"] = info.score
+                src.append(u)
+                dst.append(v)
+                vals.append(rec)
+        world.charge_compute(rank, aligned_bases, kind="alignment")
+        triples.append(
+            (
+                np.asarray(src, dtype=np.int64),
+                np.asarray(dst, dtype=np.int64),
+                np.concatenate(vals) if vals else np.empty(0, dtype=OVERLAP_DTYPE),
+            )
+        )
+
+    R = DistSparseMatrix.from_rank_triples(
+        grid,
+        (reads.nreads, reads.nreads),
+        triples,
+        add_reduce=_best_score,
+        dtype=OVERLAP_DTYPE,
+    )
+
+    # remove contained reads entirely (redundant vertices)
+    contained_lists = [
+        np.asarray(sorted(s), dtype=np.int64) for s in contained_per_rank
+    ]
+    stats.contained_reads = int(sum(len(s) for s in contained_lists))
+    stats.contained_ids = (
+        np.unique(np.concatenate(contained_lists))
+        if stats.contained_reads
+        else np.empty(0, dtype=np.int64)
+    )
+    if stats.contained_reads:
+        R = R.clear_rows_and_cols(contained_lists)
+    stats.per_kind = {
+        "dovetail": stats.dovetails,
+        "contained": stats.contained,
+        "internal": stats.internal,
+        "low_score": stats.low_score,
+    }
+    return R, stats

@@ -1,0 +1,19 @@
+"""End-to-end pipeline: configuration, driver, and reporting."""
+
+from .config import PipelineConfig
+from .elba import MAIN_STAGES, PipelineResult, run_pipeline
+from .figures import ascii_line_chart, stacked_bar_chart
+from .report import ScalingPoint, breakdown_table, parallel_efficiency, scaling_table
+
+__all__ = [
+    "PipelineConfig",
+    "run_pipeline",
+    "PipelineResult",
+    "MAIN_STAGES",
+    "ScalingPoint",
+    "scaling_table",
+    "breakdown_table",
+    "parallel_efficiency",
+    "ascii_line_chart",
+    "stacked_bar_chart",
+]

@@ -1,0 +1,96 @@
+"""Pipeline configuration (the ELBA command line, as a dataclass)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import PipelineError
+from ..mpi.bigcount import MPI_COUNT_LIMIT
+from ..mpi.costmodel import MACHINE_PRESETS, MachineModel
+
+__all__ = ["PipelineConfig"]
+
+
+@dataclass
+class PipelineConfig:
+    """All knobs of an ELBA run.
+
+    Defaults mirror the paper's settings for low-error data (k = 31,
+    x-drop = 15); use ``k=17, xdrop=7, align_mode="dp"`` for high-error
+    inputs like the H. sapiens preset.
+    """
+
+    nprocs: int = 4
+    machine: str | MachineModel = "cori-haswell"
+    # k-mer stage
+    k: int = 31
+    reliable_lo: int = 2
+    reliable_hi: int | None = None
+    # overlap + alignment stage
+    min_shared_kmers: int = 1
+    xdrop: int = 15
+    align_mode: str = "diag"
+    min_score: int = 0
+    min_overlap: int = 0
+    end_margin: int = 10
+    # transitive reduction
+    tr_fuzz: int = 100
+    tr_max_rounds: int = 8
+    # contig generation
+    min_contig_reads: int = 2
+    partition_method: str = "lpt"
+    emit_cycles: bool = False
+    count_limit: int = MPI_COUNT_LIMIT
+    # §7 polishing phase: each rank pileup-polishes its own contigs against
+    # the reads the sequence exchange already placed on it
+    polish: bool = False
+    # memory strategy for the SpGEMM kernels (paper §7 future work):
+    # "fast" keeps all SUMMA partials live (CombBLAS default), "low"
+    # streams each stage into the accumulator, trading merge passes for a
+    # smaller peak working set
+    memory_mode: str = "fast"
+    # retain the intermediate R (overlap) and S (string) matrices on the
+    # result for inspection/export (GFA/PAF); off by default since they
+    # are the run's largest objects
+    keep_graphs: bool = False
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def merge_mode(self) -> str:
+        """The SpGEMM accumulation strategy implied by ``memory_mode``."""
+        return "stream" if self.memory_mode == "low" else "bulk"
+
+    def resolve_machine(self) -> MachineModel:
+        if isinstance(self.machine, MachineModel):
+            return self.machine
+        try:
+            return MACHINE_PRESETS[self.machine]()
+        except KeyError:
+            raise PipelineError(
+                f"unknown machine preset {self.machine!r}; "
+                f"options: {sorted(MACHINE_PRESETS)}"
+            ) from None
+
+    def validate(self) -> None:
+        if self.nprocs < 1:
+            raise PipelineError(f"nprocs must be >= 1, got {self.nprocs}")
+        import math
+
+        if math.isqrt(self.nprocs) ** 2 != self.nprocs:
+            raise PipelineError(
+                f"nprocs must be a perfect square for the 2D grid, "
+                f"got {self.nprocs}"
+            )
+        if not 1 <= self.k <= 31:
+            raise PipelineError(f"k must be in [1, 31], got {self.k}")
+        if self.align_mode not in ("diag", "dp"):
+            raise PipelineError(f"unknown align_mode {self.align_mode!r}")
+        if self.partition_method not in ("lpt", "greedy", "round_robin"):
+            raise PipelineError(
+                f"unknown partition_method {self.partition_method!r}"
+            )
+        if self.memory_mode not in ("fast", "low"):
+            raise PipelineError(
+                f"unknown memory_mode {self.memory_mode!r}; "
+                "options: fast, low"
+            )

@@ -1,0 +1,95 @@
+"""Rendering helpers for scaling studies and breakdown figures.
+
+The paper's figures are stacked-bar breakdowns (Figs. 5-6) and strong-
+scaling lines (Figs. 4, 6).  These helpers turn lists of
+:class:`~repro.pipeline.elba.PipelineResult` into the same tables as text,
+plus the derived quantities the paper reports (speedup over the smallest
+run, parallel efficiency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .elba import MAIN_STAGES, PipelineResult
+
+__all__ = ["ScalingPoint", "scaling_table", "breakdown_table", "parallel_efficiency"]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One (P, time) sample of a strong-scaling study."""
+
+    nprocs: int
+    modeled_seconds: float
+    wall_seconds: float
+
+    def speedup_over(self, base: "ScalingPoint") -> float:
+        return base.modeled_seconds / self.modeled_seconds if self.modeled_seconds else 0.0
+
+
+def parallel_efficiency(points: list[ScalingPoint]) -> list[float]:
+    """Efficiency of each point relative to the smallest-P run.
+
+    ``eff(P) = (T(P0) * P0) / (T(P) * P)`` -- the quantity behind the
+    paper's "parallel efficiency up to 80% on 128 nodes".
+    """
+    if not points:
+        return []
+    base = points[0]
+    return [
+        (base.modeled_seconds * base.nprocs) / (pt.modeled_seconds * pt.nprocs)
+        if pt.modeled_seconds > 0
+        else 0.0
+        for pt in points
+    ]
+
+
+def scaling_table(label: str, results: list[PipelineResult]) -> str:
+    """Fig. 4/6-style strong-scaling table with speedup and efficiency."""
+    points = [
+        ScalingPoint(
+            nprocs=r.config.nprocs,
+            modeled_seconds=r.modeled_total,
+            wall_seconds=r.report.wall_seconds,
+        )
+        for r in results
+    ]
+    effs = parallel_efficiency(points)
+    lines = [
+        f"strong scaling -- {label}",
+        f"{'P':>6}{'modeled(s)':>14}{'speedup':>10}{'efficiency':>12}{'wall(s)':>10}",
+    ]
+    for pt, eff in zip(points, effs):
+        lines.append(
+            f"{pt.nprocs:>6}{pt.modeled_seconds:>14.3f}"
+            f"{pt.speedup_over(points[0]):>10.2f}{eff:>11.1%}"
+            f"{pt.wall_seconds:>10.2f}"
+        )
+    return "\n".join(lines)
+
+
+def breakdown_table(label: str, results: list[PipelineResult]) -> str:
+    """Fig. 5/6-style stacked breakdown table (one column per P)."""
+    header = f"{'stage':<16}" + "".join(
+        f"P={r.config.nprocs:<10}" for r in results
+    )
+    lines = [f"runtime breakdown -- {label}", header]
+    for stage in MAIN_STAGES:
+        row = f"{stage:<16}"
+        for r in results:
+            row += f"{r.stage_seconds(stage):<12.4f}"
+        lines.append(row)
+    totals = f"{'total':<16}" + "".join(
+        f"{r.modeled_total:<12.4f}" for r in results
+    )
+    lines.append(totals)
+    # contig-phase internal split (the 65-85% induced-subgraph claim)
+    lines.append("")
+    lines.append("ExtractContig substages (fraction of contig phase):")
+    for r in results:
+        sub = r.contig_substage_breakdown()
+        total = sum(sub.values()) or 1.0
+        parts = "  ".join(f"{k}={v / total:.0%}" for k, v in sub.items())
+        lines.append(f"  P={r.config.nprocs}: {parts}")
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""Assembly quality metrics (QUAST equivalent for the known reference)."""
+
+from .metrics import AlignmentBlock, ContigMapping, QualityReport, evaluate_assembly
+
+__all__ = ["evaluate_assembly", "QualityReport", "ContigMapping", "AlignmentBlock"]

@@ -1,0 +1,459 @@
+"""Contig scaffolding by recursive sparse-matrix OLC (paper §7 future work).
+
+Each scaffold **round** treats the current contig set as a read set and runs
+the same distributed machinery as the main pipeline: distributed k-mer
+counting over the contigs, ``C = A . A^T`` candidate detection, x-drop
+alignment with containment pruning, transitive reduction and the Algorithm 2
+chain walk.  Chains of two or more contigs become merged sequences;
+contained contigs are absorbed into their container; untouched contigs pass
+through unchanged.  Rounds repeat until a fixpoint (no chain emitted and no
+contig absorbed) or ``max_rounds``.
+
+Why contig ends still overlap: branch masking (§4.2) clears *all* edges of
+a branching vertex, splitting its neighborhood into separate chains even
+when the neighbors also overlap each other directly -- that direct edge was
+either transitively reduced away earlier or pruned with the branch.  The
+sequences therefore still share the overlap; a fresh overlap pass over the
+contig set finds it again and joins the chains.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.assembly import Contig
+from ..core.contig import contig_generation
+from ..errors import PipelineError
+from ..kmer.counter import count_kmers
+from ..kmer.kmermatrix import build_kmer_matrix
+from ..mpi.comm import SimWorld
+from ..mpi.costmodel import MACHINE_PRESETS, MachineModel
+from ..mpi.grid import ProcGrid
+from ..overlap.detect import detect_overlaps
+from ..overlap.filter import AlignmentParams, build_overlap_graph
+from ..seq.readstore import DistReadStore
+from ..strgraph.transitive import transitive_reduction
+
+__all__ = [
+    "ScaffoldConfig",
+    "ScaffoldRoundStats",
+    "ScaffoldResult",
+    "scaffold_contigs",
+    "gap_fill",
+]
+
+#: Stage label scaffold rounds charge their modeled time to.
+STAGE = "Scaffold"
+
+
+@dataclass(frozen=True)
+class ScaffoldConfig:
+    """Knobs of the scaffolding extension.
+
+    ``k`` defaults higher than the read-phase k because contigs are long and
+    nearly error-free after assembly, so long anchors are both reliable and
+    more repeat-specific.  ``min_overlap`` guards against spurious joins on
+    short shared repeats.  ``nprocs`` sizes the simulated grid of the
+    scaffold rounds (a perfect square, like the main pipeline).
+    """
+
+    k: int = 25
+    nprocs: int = 1
+    machine: str | MachineModel = "cori-haswell"
+    min_shared_kmers: int = 1
+    xdrop: int = 15
+    align_mode: str = "diag"
+    min_score: int = 0
+    min_overlap: int = 50
+    end_margin: int = 25
+    tr_fuzz: int = 100
+    tr_max_rounds: int = 8
+    max_rounds: int = 4
+    min_contig_reads: int = 2
+
+    def validate(self) -> None:
+        import math
+
+        if self.nprocs < 1 or math.isqrt(self.nprocs) ** 2 != self.nprocs:
+            raise PipelineError(
+                f"scaffold nprocs must be a positive perfect square, "
+                f"got {self.nprocs}"
+            )
+        if not 1 <= self.k <= 31:
+            raise PipelineError(f"scaffold k must be in [1, 31], got {self.k}")
+        if self.max_rounds < 1:
+            raise PipelineError(
+                f"max_rounds must be >= 1, got {self.max_rounds}"
+            )
+        if self.align_mode not in ("diag", "dp"):
+            raise PipelineError(f"unknown align_mode {self.align_mode!r}")
+
+    def resolve_machine(self) -> MachineModel:
+        if isinstance(self.machine, MachineModel):
+            return self.machine
+        try:
+            return MACHINE_PRESETS[self.machine]()
+        except KeyError:
+            raise PipelineError(
+                f"unknown machine preset {self.machine!r}; "
+                f"options: {sorted(MACHINE_PRESETS)}"
+            ) from None
+
+
+@dataclass
+class ScaffoldRoundStats:
+    """What one scaffold round did to the contig set."""
+
+    round_index: int
+    n_input: int
+    n_chains: int
+    n_absorbed: int
+    n_passthrough: int
+    n_output: int
+    longest_in: int
+    longest_out: int
+
+    @property
+    def merged_anything(self) -> bool:
+        return self.n_chains > 0 or self.n_absorbed > 0
+
+
+@dataclass
+class ScaffoldResult:
+    """Final scaffolded sequences plus per-round diagnostics."""
+
+    contigs: list[np.ndarray]
+    rounds: list[ScaffoldRoundStats] = field(default_factory=list)
+    modeled_seconds: float = 0.0
+    wall_seconds: float = 0.0
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def count(self) -> int:
+        return len(self.contigs)
+
+    def lengths(self) -> np.ndarray:
+        return np.array([c.size for c in self.contigs], dtype=np.int64)
+
+    def longest(self) -> int:
+        return int(self.lengths().max()) if self.contigs else 0
+
+    def total_bases(self) -> int:
+        return int(self.lengths().sum()) if self.contigs else 0
+
+
+def _as_code_arrays(contigs) -> list[np.ndarray]:
+    """Accept ``Contig`` objects or raw uint8 code arrays."""
+    out = []
+    for c in contigs:
+        codes = c.codes if isinstance(c, Contig) else np.asarray(c, dtype=np.uint8)
+        out.append(codes)
+    return out
+
+
+def _scaffold_round(
+    seqs: list[np.ndarray],
+    cfg: ScaffoldConfig,
+    world: SimWorld,
+    round_index: int,
+) -> tuple[list[np.ndarray], ScaffoldRoundStats]:
+    """One merge round over the current contig set."""
+    longest_in = max((s.size for s in seqs), default=0)
+    grid = ProcGrid(world)
+    store = DistReadStore.from_global(grid, seqs)
+
+    # k-mers unique to one contig cannot seed a contig-contig overlap, so
+    # the reliable filter keeps only multiplicity >= 2 (ends shared between
+    # adjacent contigs, or repeats -- the alignment prunes the latter).
+    table = count_kmers(store, cfg.k, reliable_lo=2, reliable_hi=None)
+    params = AlignmentParams(
+        k=cfg.k,
+        xdrop=cfg.xdrop,
+        mode=cfg.align_mode,
+        min_score=cfg.min_score,
+        min_overlap=cfg.min_overlap,
+        end_margin=cfg.end_margin,
+    )
+    if table.total == 0:
+        # no shared anchors anywhere: nothing can merge
+        stats = ScaffoldRoundStats(
+            round_index=round_index,
+            n_input=len(seqs),
+            n_chains=0,
+            n_absorbed=0,
+            n_passthrough=len(seqs),
+            n_output=len(seqs),
+            longest_in=longest_in,
+            longest_out=longest_in,
+        )
+        return list(seqs), stats
+
+    A = build_kmer_matrix(store, table)
+    C = detect_overlaps(A, min_shared=cfg.min_shared_kmers)
+    R, astats = build_overlap_graph(C, store, params)
+    tr = transitive_reduction(R, fuzz=cfg.tr_fuzz, max_rounds=cfg.tr_max_rounds)
+    cset = contig_generation(
+        tr.S, store, min_contig_reads=cfg.min_contig_reads
+    )
+
+    used: set[int] = set(int(i) for i in astats.contained_ids)
+    merged: list[np.ndarray] = []
+    for chain in cset.contigs:
+        merged.append(chain.codes)
+        used.update(int(g) for g in chain.read_path)
+
+    passthrough = [s for i, s in enumerate(seqs) if i not in used]
+    out = merged + passthrough
+    stats = ScaffoldRoundStats(
+        round_index=round_index,
+        n_input=len(seqs),
+        n_chains=len(merged),
+        n_absorbed=int(astats.contained_ids.size),
+        n_passthrough=len(passthrough),
+        n_output=len(out),
+        longest_in=longest_in,
+        longest_out=max((s.size for s in out), default=0),
+    )
+    return out, stats
+
+
+def scaffold_contigs(
+    contigs,
+    config: ScaffoldConfig | None = None,
+) -> ScaffoldResult:
+    """Iteratively merge a contig set into longer sequences.
+
+    Parameters
+    ----------
+    contigs:
+        The assembly to scaffold: a list of :class:`~repro.core.assembly.
+        Contig` objects (e.g. ``PipelineResult.contigs.contigs``) or raw
+        uint8 code arrays.
+    config:
+        Scaffold knobs; defaults follow :class:`ScaffoldConfig`.
+
+    Returns
+    -------
+    ScaffoldResult
+        The scaffolded sequences, one :class:`ScaffoldRoundStats` per round
+        executed, and the modeled distributed time of all rounds combined
+        (charged to the ``Scaffold`` stage of a fresh simulated world).
+    """
+    cfg = config or ScaffoldConfig()
+    cfg.validate()
+    t0 = time.perf_counter()
+
+    seqs = _as_code_arrays(contigs)
+    world = SimWorld(cfg.nprocs, cfg.resolve_machine())
+    result = ScaffoldResult(contigs=seqs)
+    if len(seqs) < 2:
+        result.wall_seconds = time.perf_counter() - t0
+        return result
+
+    with world.stage_scope(STAGE):
+        for rnd in range(cfg.max_rounds):
+            seqs, stats = _scaffold_round(seqs, cfg, world, rnd)
+            result.rounds.append(stats)
+            if not stats.merged_anything or len(seqs) < 2:
+                break
+
+    result.contigs = seqs
+    result.modeled_seconds = world.clock.total_seconds()
+    result.wall_seconds = time.perf_counter() - t0
+    return result
+
+
+def _bridge_candidates(
+    contig_seqs: list[np.ndarray],
+    read_list: list[np.ndarray],
+    k: int,
+    slack: int = 10,
+    min_anchors: int = 2,
+) -> list[np.ndarray]:
+    """Select one gap-bridging read per contig-end slot.
+
+    Each read is anchor-mapped (unique contig k-mers, as in polishing) to
+    every contig.  Reads interior to some contig carry no new sequence.
+    The rest *attach* to contig ends: jutting before a contig's start
+    claims its left slot, jutting past the end claims its right slot; a
+    read attaching to two ends of different contigs is a gap **bridge**.
+
+    Exactly one read is kept per slot, bridges first (largest anchored
+    support wins), then one-ended extenders for slots still free.  The
+    selection matters twice over: redundant near-identical candidates
+    would mark each other contained in the overlap round -- deleting their
+    contig dovetails with them -- and multiple survivors on one contig end
+    would create a branch vertex that masking cuts right back out.
+    """
+    from .polish import _anchor_hits, _unique_anchor_index
+
+    indexes = [_unique_anchor_index(c, k) for c in contig_seqs]
+    bridges: list[tuple[int, tuple, np.ndarray]] = []
+    extenders: list[tuple[int, tuple, np.ndarray]] = []
+    for read in read_list:
+        attachments: list[tuple[int, str]] = []
+        support = 0
+        interior = False
+        for ci, (ctg, (vals, pos)) in enumerate(zip(contig_seqs, indexes)):
+            read_pos, contig_pos, _strand = _anchor_hits(read, k, vals, pos)
+            if read_pos.size < min_anchors:
+                continue
+            est_start = int((contig_pos - read_pos).min())
+            est_end = int((contig_pos + (read.size - read_pos)).max())
+            juts_left = est_start < -slack
+            juts_right = est_end > ctg.size + slack
+            if not (juts_left or juts_right):
+                interior = True
+                break
+            if juts_left:
+                attachments.append((ci, "L"))
+            if juts_right:
+                attachments.append((ci, "R"))
+            support += int(read_pos.size)
+        if interior or not attachments:
+            continue
+        slots = tuple(sorted(set(attachments)))
+        entry = (support, slots, read)
+        if len(slots) >= 2:
+            bridges.append(entry)
+        else:
+            extenders.append(entry)
+
+    taken: set[tuple[int, str]] = set()
+    selected: list[np.ndarray] = []
+    for support, slots, read in sorted(
+        bridges, key=lambda e: -e[0]
+    ) + sorted(extenders, key=lambda e: -e[0]):
+        if any(s in taken for s in slots):
+            continue
+        taken.update(slots)
+        selected.append(read)
+    return selected
+
+
+def gap_fill(
+    contigs,
+    reads,
+    config: ScaffoldConfig | None = None,
+) -> ScaffoldResult:
+    """Bridge contig gaps with unplaced reads, then scaffold to a fixpoint.
+
+    Branch masking (§4.2) clears every edge of a branching vertex, so the
+    masked read's bases end up in *no* contig: adjacent contigs are
+    separated by exactly the gap that read covered.  This extension first
+    selects the **bridge candidates** -- reads that are not interior to
+    any contig -- then feeds contigs plus candidates through one overlap
+    round: a read that dovetails two contig ends forms a
+    contig-read-contig chain that closes the gap; candidates contained in
+    other candidates are absorbed.  Chains made purely of reads are
+    discarded (the pipeline, not the gap filler, does primary assembly).
+    The bridged output is then scaffolded to a fixpoint.
+
+    Parameters
+    ----------
+    contigs:
+        Assembled contigs (:class:`~repro.core.assembly.Contig` or raw
+        uint8 arrays).
+    reads:
+        The full read collection (list of code arrays, or an object with a
+        ``reads`` attribute such as a ReadSet); no provenance is required.
+    config:
+        Scaffold knobs shared with :func:`scaffold_contigs`.
+    """
+    cfg = config or ScaffoldConfig()
+    cfg.validate()
+    t0 = time.perf_counter()
+
+    contig_seqs = _as_code_arrays(contigs)
+    read_list = [
+        np.asarray(r, dtype=np.uint8) for r in getattr(reads, "reads", reads)
+    ]
+    n_contigs = len(contig_seqs)
+    if n_contigs == 0 or not read_list:
+        base = scaffold_contigs(contig_seqs, cfg)
+        base.wall_seconds = time.perf_counter() - t0
+        return base
+
+    bridges = _bridge_candidates(contig_seqs, read_list, min(cfg.k, 15))
+    seqs = contig_seqs + bridges
+    world = SimWorld(cfg.nprocs, cfg.resolve_machine())
+    grid = ProcGrid(world)
+
+    with world.stage_scope(STAGE):
+        store = DistReadStore.from_global(grid, seqs)
+        table = count_kmers(store, cfg.k, reliable_lo=2, reliable_hi=None)
+        params = AlignmentParams(
+            k=cfg.k,
+            xdrop=cfg.xdrop,
+            mode=cfg.align_mode,
+            min_score=cfg.min_score,
+            min_overlap=cfg.min_overlap,
+            end_margin=cfg.end_margin,
+        )
+        longest_in = max((s.size for s in seqs), default=0)
+        if table.total == 0:
+            bridged = contig_seqs
+            stats = ScaffoldRoundStats(
+                round_index=0,
+                n_input=len(seqs),
+                n_chains=0,
+                n_absorbed=0,
+                n_passthrough=n_contigs,
+                n_output=n_contigs,
+                longest_in=longest_in,
+                longest_out=longest_in,
+            )
+        else:
+            A = build_kmer_matrix(store, table)
+            C = detect_overlaps(A, min_shared=cfg.min_shared_kmers)
+            R, astats = build_overlap_graph(C, store, params)
+            tr = transitive_reduction(
+                R, fuzz=cfg.tr_fuzz, max_rounds=cfg.tr_max_rounds
+            )
+            cset = contig_generation(
+                tr.S, store, min_contig_reads=cfg.min_contig_reads
+            )
+            used: set[int] = set(int(i) for i in astats.contained_ids)
+            merged: list[np.ndarray] = []
+            for chain in cset.contigs:
+                members = [int(g) for g in chain.read_path]
+                # a chain must contain at least one input contig; chains of
+                # bridge reads alone re-do the pipeline's job, badly
+                if any(m < n_contigs for m in members):
+                    merged.append(chain.codes)
+                    used.update(members)
+            # contigs pass through when untouched; unused reads never do
+            passthrough = [
+                s
+                for i, s in enumerate(contig_seqs)
+                if i not in used
+            ]
+            bridged = merged + passthrough
+            stats = ScaffoldRoundStats(
+                round_index=0,
+                n_input=len(seqs),
+                n_chains=len(merged),
+                n_absorbed=int(astats.contained_ids.size),
+                n_passthrough=len(passthrough),
+                n_output=len(bridged),
+                longest_in=longest_in,
+                longest_out=max((s.size for s in bridged), default=0),
+            )
+
+    followup = scaffold_contigs(bridged, cfg)
+    for r in followup.rounds:
+        r.round_index += 1
+    result = ScaffoldResult(
+        contigs=followup.contigs,
+        rounds=[stats] + followup.rounds,
+        modeled_seconds=world.clock.total_seconds()
+        + followup.modeled_seconds,
+        wall_seconds=time.perf_counter() - t0,
+    )
+    return result

@@ -1,0 +1,32 @@
+"""Sequences, read storage, FASTA I/O and the synthetic data generator."""
+
+from . import dna
+from .datasets import DEFAULT_SCALE, PRESETS, DatasetPreset, build_dataset
+from .fasta import iter_fasta, load_distributed, read_fasta, write_fasta
+from .readstore import DistReadStore, PackedReads
+from .simulate import GenomeSpec, ReadRecord, ReadSet, make_genome, sample_reads, tile_reads
+from .stats import ReadSetStats, estimate_depth, kmer_spectrum, read_stats
+
+__all__ = [
+    "dna",
+    "PackedReads",
+    "DistReadStore",
+    "ReadRecord",
+    "ReadSet",
+    "GenomeSpec",
+    "make_genome",
+    "sample_reads",
+    "tile_reads",
+    "DatasetPreset",
+    "PRESETS",
+    "DEFAULT_SCALE",
+    "build_dataset",
+    "read_fasta",
+    "write_fasta",
+    "iter_fasta",
+    "load_distributed",
+    "ReadSetStats",
+    "read_stats",
+    "kmer_spectrum",
+    "estimate_depth",
+]

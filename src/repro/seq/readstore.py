@@ -1,0 +1,239 @@
+"""Packed read storage: the "distributed char arrays" of §4.3.
+
+Reads are never stored as one Python object per sequence.  A
+:class:`PackedReads` holds a rank's reads as a single contiguous ``uint8``
+code buffer plus an offsets array, so a subsequence lookup is a zero-copy
+view -- exactly the property the paper exploits during local assembly
+("we can simply use the offsets already computed ... and read the
+subsequence directly from the buffer").
+
+:class:`DistReadStore` block-distributes read ids over the P ranks and knows
+which rank owns any given read.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import SequenceError
+from ..mpi.comm import block_range  # noqa: F401  (re-exported for callers)
+from ..mpi.grid import ProcGrid
+from . import dna
+
+__all__ = ["PackedReads", "DistReadStore"]
+
+
+class PackedReads:
+    """An ordered collection of reads in one packed code buffer.
+
+    Attributes
+    ----------
+    buffer:
+        Concatenated 2-bit-coded bases of all reads (``uint8`` codes).
+    offsets:
+        ``int64`` array of length ``count + 1``; read ``i`` occupies
+        ``buffer[offsets[i]:offsets[i+1]]``.
+    ids:
+        Global read identifiers, parallel to the reads.
+    """
+
+    __slots__ = ("buffer", "offsets", "ids")
+
+    def __init__(self, buffer: np.ndarray, offsets: np.ndarray, ids: np.ndarray) -> None:
+        buffer = np.asarray(buffer, dtype=np.uint8)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        ids = np.asarray(ids, dtype=np.int64)
+        if offsets.size == 0 or offsets[0] != 0 or offsets[-1] != buffer.size:
+            raise SequenceError("offsets must start at 0 and end at buffer size")
+        if np.any(np.diff(offsets) < 0):
+            raise SequenceError("offsets must be non-decreasing")
+        if ids.size != offsets.size - 1:
+            raise SequenceError(
+                f"{ids.size} ids but {offsets.size - 1} reads in offsets"
+            )
+        self.buffer = buffer
+        self.offsets = offsets
+        self.ids = ids
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def empty(cls) -> "PackedReads":
+        return cls(
+            np.empty(0, dtype=np.uint8),
+            np.zeros(1, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+
+    @classmethod
+    def from_codes(
+        cls, code_arrays: Sequence[np.ndarray], ids: Iterable[int] | None = None
+    ) -> "PackedReads":
+        """Pack a list of code arrays (ids default to 0..n-1)."""
+        lengths = np.array([len(a) for a in code_arrays], dtype=np.int64)
+        offsets = np.zeros(lengths.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        buffer = (
+            np.concatenate([np.asarray(a, dtype=np.uint8) for a in code_arrays])
+            if code_arrays
+            else np.empty(0, dtype=np.uint8)
+        )
+        if ids is None:
+            ids = np.arange(lengths.size, dtype=np.int64)
+        return cls(buffer, offsets, np.asarray(list(ids), dtype=np.int64))
+
+    @classmethod
+    def from_strings(
+        cls, seqs: Sequence[str], ids: Iterable[int] | None = None
+    ) -> "PackedReads":
+        return cls.from_codes([dna.encode(s) for s in seqs], ids)
+
+    # -- access ---------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return int(self.ids.size)
+
+    @property
+    def total_bases(self) -> int:
+        return int(self.buffer.size)
+
+    def length_of(self, local_index: int) -> int:
+        return int(self.offsets[local_index + 1] - self.offsets[local_index])
+
+    def lengths(self) -> np.ndarray:
+        return np.diff(self.offsets)
+
+    def codes(self, local_index: int) -> np.ndarray:
+        """Zero-copy view of read ``local_index``'s code array."""
+        return self.buffer[self.offsets[local_index] : self.offsets[local_index + 1]]
+
+    def subsequence(self, local_index: int, start: int, stop: int) -> np.ndarray:
+        """Zero-copy view of ``read[start:stop]`` (stored orientation)."""
+        lo = self.offsets[local_index]
+        return self.buffer[lo + start : lo + stop]
+
+    def string(self, local_index: int) -> str:
+        return dna.decode(self.codes(local_index))
+
+    def index_of(self, global_id: int) -> int:
+        """Local index of a global read id (reads are kept id-sorted)."""
+        pos = int(np.searchsorted(self.ids, global_id))
+        if pos >= self.ids.size or self.ids[pos] != global_id:
+            raise SequenceError(f"read {global_id} not stored here")
+        return pos
+
+    def select(self, local_indices: np.ndarray) -> "PackedReads":
+        """New PackedReads containing the given local reads, in order."""
+        local_indices = np.asarray(local_indices, dtype=np.int64)
+        pieces = [self.codes(int(i)) for i in local_indices]
+        return PackedReads.from_codes(pieces, self.ids[local_indices])
+
+    def __iter__(self):
+        for i in range(self.count):
+            yield self.ids[i], self.codes(i)
+
+
+class DistReadStore:
+    """Reads block-distributed over the P ranks of a grid.
+
+    Rank ``r`` owns the contiguous global-id range ``grid.vec_block(n, r)``
+    -- the *same* nested layout as distributed vectors, so the contig
+    assignment vector **p** aligns element-for-element with the read shards
+    (the property §4.3's sequence exchange relies on).
+    """
+
+    __slots__ = ("grid", "nreads", "shards")
+
+    def __init__(self, grid: ProcGrid, nreads: int, shards: list[PackedReads]) -> None:
+        if len(shards) != grid.nprocs:
+            raise SequenceError(f"expected {grid.nprocs} shards")
+        for rank, shard in enumerate(shards):
+            lo, hi = grid.vec_block(nreads, rank)
+            if shard.count != hi - lo or (
+                shard.count and not np.array_equal(shard.ids, np.arange(lo, hi))
+            ):
+                raise SequenceError(
+                    f"rank {rank} shard must hold reads [{lo}, {hi}) in order"
+                )
+        self.grid = grid
+        self.nreads = int(nreads)
+        self.shards = shards
+
+    @classmethod
+    def from_global(cls, grid: ProcGrid, reads: Sequence[np.ndarray]) -> "DistReadStore":
+        """Distribute a global list of code arrays (root-side convenience)."""
+        n = len(reads)
+        shards = []
+        for rank in range(grid.nprocs):
+            lo, hi = grid.vec_block(n, rank)
+            shards.append(
+                PackedReads.from_codes(
+                    [np.asarray(reads[i], dtype=np.uint8) for i in range(lo, hi)],
+                    np.arange(lo, hi),
+                )
+            )
+        return cls(grid, n, shards)
+
+    def owner_of(self, read_id: np.ndarray | int):
+        """Rank owning the given global read id(s)."""
+        return self.grid.owner_of_vec(self.nreads, read_id)
+
+    def total_bases(self) -> int:
+        return sum(s.total_bases for s in self.shards)
+
+    def lengths_global(self) -> np.ndarray:
+        """All read lengths ordered by global id (test/report convenience)."""
+        return np.concatenate([s.lengths() for s in self.shards])
+
+    def codes_global(self, read_id: int) -> np.ndarray:
+        """Fetch any read's codes regardless of owner (test convenience)."""
+        owner = int(self.owner_of(read_id))
+        return self.shards[owner].codes(self.shards[owner].index_of(read_id))
+
+    def fetch(self, requests: list[np.ndarray]) -> list[PackedReads]:
+        """Distributed fetch: rank r receives the reads ``requests[r]``.
+
+        Request ids are routed to owner ranks with one all-to-all; owners
+        slice their packed buffers and reply with packed shards (second
+        all-to-all).  Used by the alignment stage, where each rank needs the
+        sequences behind its block's candidate overlap pairs.
+        """
+        grid = self.grid
+        world = grid.world
+        P = grid.nprocs
+        send: list[list[np.ndarray]] = [[None] * P for _ in range(P)]
+        for r in range(P):
+            ids = np.unique(np.asarray(requests[r], dtype=np.int64))
+            owner = np.asarray(self.owner_of(ids))
+            for o in range(P):
+                send[r][o] = ids[owner == o]
+            world.charge_compute(r, ids.size)
+        recv = world.comm.alltoall(send)
+        reply: list[list[PackedReads]] = [[None] * P for _ in range(P)]
+        for o in range(P):
+            shard = self.shards[o]
+            lo, _hi = grid.vec_block(self.nreads, o)
+            for r in range(P):
+                ids = recv[o][r]
+                reply[o][r] = shard.select(ids - lo)
+            world.charge_compute(o, sum(a.size for a in recv[o]))
+        answers = world.comm.alltoall(reply)
+        out = []
+        for r in range(P):
+            pieces = [p for p in answers[r] if p.count]
+            if not pieces:
+                out.append(PackedReads.empty())
+                continue
+            buffer = np.concatenate([p.buffer for p in pieces])
+            lengths = np.concatenate([p.lengths() for p in pieces])
+            ids = np.concatenate([p.ids for p in pieces])
+            order = np.argsort(ids, kind="stable")
+            # repack in id order so index_of can bisect
+            offsets = np.zeros(ids.size + 1, dtype=np.int64)
+            np.cumsum(lengths, out=offsets[1:])
+            reordered = [
+                buffer[offsets[i] : offsets[i + 1]] for i in order
+            ]
+            out.append(PackedReads.from_codes(reordered, ids[order]))
+        return out

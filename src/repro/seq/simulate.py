@@ -1,0 +1,230 @@
+"""Synthetic genomes and long-read sampling (the datasets substitute).
+
+The paper's evaluation reads (PacBio/ONT sets for O. sativa, C. elegans,
+H. sapiens -- Table 2) are replaced by a parameterized simulator that
+preserves what drives the algorithms:
+
+* coverage depth and read-length distribution (gamma, like real long reads),
+* per-base error rate with a substitution/insertion/deletion mix,
+* random strand flips (forcing the bidirected-graph machinery),
+* optional repeat structure (creating the branching vertices §4.2 masks).
+
+Ground truth (position, strand, errors) is kept per read so quality metrics
+can be computed exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import SequenceError
+from . import dna
+
+__all__ = ["ReadRecord", "ReadSet", "GenomeSpec", "make_genome", "sample_reads", "tile_reads"]
+
+
+@dataclass(frozen=True)
+class ReadRecord:
+    """Ground truth for one simulated read."""
+
+    read_id: int
+    start: int      # leftmost genome coordinate covered
+    length: int     # genome span covered (before errors)
+    strand: int     # +1 forward, -1 the read stores the reverse complement
+    nerrors: int
+
+
+@dataclass
+class ReadSet:
+    """A simulated read collection plus its ground truth."""
+
+    reads: list[np.ndarray]
+    records: list[ReadRecord]
+    genome: np.ndarray
+
+    @property
+    def count(self) -> int:
+        return len(self.reads)
+
+    def mean_length(self) -> float:
+        return float(np.mean([len(r) for r in self.reads])) if self.reads else 0.0
+
+    def depth(self) -> float:
+        total = sum(len(r) for r in self.reads)
+        return total / max(len(self.genome), 1)
+
+
+@dataclass(frozen=True)
+class GenomeSpec:
+    """Parameters of a synthetic genome."""
+
+    length: int
+    gc: float = 0.5
+    n_repeats: int = 0
+    repeat_length: int = 0
+    repeat_copies: int = 2
+    seed: int = 0
+
+
+def make_genome(spec: GenomeSpec) -> np.ndarray:
+    """Generate a genome, optionally planting repeated segments.
+
+    Each repeat is copied ``repeat_copies`` times at random positions
+    (overwriting the background), creating the high-connectivity regions
+    that produce branching vertices in the string graph.
+    """
+    if spec.length <= 0:
+        raise SequenceError(f"genome length must be positive, got {spec.length}")
+    rng = np.random.default_rng(spec.seed)
+    genome = dna.random_codes(rng, spec.length, gc=spec.gc)
+    if spec.n_repeats and spec.repeat_length:
+        if spec.repeat_length >= spec.length // max(spec.repeat_copies, 1):
+            raise SequenceError("repeat length too large for genome")
+        for _ in range(spec.n_repeats):
+            unit = dna.random_codes(rng, spec.repeat_length, gc=spec.gc)
+            for _copy in range(spec.repeat_copies):
+                pos = int(rng.integers(0, spec.length - spec.repeat_length))
+                genome[pos : pos + spec.repeat_length] = unit
+    return genome
+
+
+def _apply_errors(
+    codes: np.ndarray,
+    rate: float,
+    rng: np.random.Generator,
+    mix: tuple[float, float, float],
+) -> tuple[np.ndarray, int]:
+    """Inject substitution/insertion/deletion errors at the given rate.
+
+    ``mix`` gives the relative weight of (substitutions, insertions,
+    deletions); long-read HiFi data is substitution-dominated while older
+    chemistry is indel-heavy.
+    """
+    n = codes.size
+    nerr = int(rng.binomial(n, min(rate, 1.0))) if rate > 0 else 0
+    if nerr == 0:
+        return codes.copy(), 0
+    positions = np.sort(rng.choice(n, size=nerr, replace=False))
+    kinds = rng.choice(3, size=nerr, p=np.asarray(mix) / sum(mix))
+    out: list[np.ndarray] = []
+    prev = 0
+    for pos, kind in zip(positions, kinds):
+        out.append(codes[prev:pos])
+        if kind == 0:  # substitution: shift by 1..3 so the base always changes
+            out.append(
+                np.array([(codes[pos] + rng.integers(1, 4)) % 4], dtype=np.uint8)
+            )
+            prev = pos + 1
+        elif kind == 1:  # insertion before pos
+            out.append(np.array([rng.integers(0, 4)], dtype=np.uint8))
+            prev = pos
+        else:  # deletion of pos
+            prev = pos + 1
+    out.append(codes[prev:])
+    return np.concatenate(out), nerr
+
+
+def sample_reads(
+    genome: np.ndarray,
+    depth: float,
+    mean_length: int,
+    rng: np.random.Generator | int = 0,
+    error_rate: float = 0.0,
+    error_mix: tuple[float, float, float] = (0.6, 0.2, 0.2),
+    length_cv: float = 0.2,
+    min_length: int = 50,
+    strand_flips: bool = True,
+) -> ReadSet:
+    """Sample long reads to the requested coverage depth.
+
+    Lengths follow a gamma distribution with the given coefficient of
+    variation; start positions are uniform; each read is reverse-
+    complemented with probability 1/2 when ``strand_flips`` is on.
+    """
+    if isinstance(rng, (int, np.integer)):
+        rng = np.random.default_rng(rng)
+    g = np.asarray(genome, dtype=np.uint8)
+    if g.size < mean_length:
+        raise SequenceError(
+            f"genome ({g.size} bp) shorter than mean read length {mean_length}"
+        )
+    target_bases = depth * g.size
+    reads: list[np.ndarray] = []
+    records: list[ReadRecord] = []
+    total = 0
+    k_shape = 1.0 / (length_cv**2) if length_cv > 0 else None
+    while total < target_bases:
+        if k_shape is None:
+            length = mean_length
+        else:
+            length = int(rng.gamma(k_shape, mean_length / k_shape))
+        length = max(min_length, min(length, g.size))
+        start = int(rng.integers(0, g.size - length + 1))
+        fragment = g[start : start + length]
+        strand = -1 if (strand_flips and rng.random() < 0.5) else 1
+        oriented = dna.revcomp(fragment) if strand == -1 else fragment
+        observed, nerr = _apply_errors(oriented, error_rate, rng, error_mix)
+        records.append(
+            ReadRecord(
+                read_id=len(reads),
+                start=start,
+                length=length,
+                strand=strand,
+                nerrors=nerr,
+            )
+        )
+        reads.append(observed)
+        total += observed.size
+    return ReadSet(reads=reads, records=records, genome=g)
+
+
+def tile_reads(
+    genome: np.ndarray,
+    read_length: int,
+    stride: int,
+    strand_pattern: str = "forward",
+) -> ReadSet:
+    """Deterministic error-free tiling of the genome.
+
+    The workhorse of exactness tests: reads of ``read_length`` starting
+    every ``stride`` bases (so consecutive reads overlap by ``read_length -
+    stride``).  ``strand_pattern`` is ``"forward"`` (all +) or
+    ``"alternate"`` (every other read reverse-complemented, exercising the
+    bidirected walk).  A correct pipeline must reassemble this tiling into
+    exactly one contig equal to the genome (up to reverse complement).
+    """
+    g = np.asarray(genome, dtype=np.uint8)
+    if not 0 < stride < read_length:
+        raise SequenceError(
+            f"need 0 < stride < read_length, got stride={stride}, "
+            f"read_length={read_length}"
+        )
+    if strand_pattern not in ("forward", "alternate"):
+        raise SequenceError(f"unknown strand pattern {strand_pattern!r}")
+    reads: list[np.ndarray] = []
+    records: list[ReadRecord] = []
+    start = 0
+    while True:
+        start = min(start, g.size - read_length)
+        fragment = g[start : start + read_length]
+        strand = (
+            -1
+            if (strand_pattern == "alternate" and len(reads) % 2 == 1)
+            else 1
+        )
+        reads.append(dna.revcomp(fragment) if strand == -1 else fragment.copy())
+        records.append(
+            ReadRecord(
+                read_id=len(records),
+                start=start,
+                length=read_length,
+                strand=strand,
+                nerrors=0,
+            )
+        )
+        if start + read_length >= g.size:
+            break
+        start += stride
+    return ReadSet(reads=reads, records=records, genome=g)

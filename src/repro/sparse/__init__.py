@@ -1,0 +1,54 @@
+"""Distributed sparse linear algebra with semirings (CombBLAS equivalent).
+
+Local formats (:class:`LocalCoo`, :class:`LocalCsc`, :class:`LocalCsr`,
+:class:`Dcsc`) carry arbitrary structured payloads; :class:`DistSparseMatrix`
+and :class:`DistVector` distribute them over the sqrt(P) x sqrt(P) grid with
+SUMMA SpGEMM, apply/prune, reductions and owner-computes vector gathers.
+"""
+
+from .coo import LocalCoo, segment_starts
+from .csr import LocalCsc, LocalCsr
+from .dcsc import Dcsc
+from .distmat import DistSparseMatrix
+from .distvec import DistVector
+from .semiring import (
+    Semiring,
+    arithmetic_semiring,
+    boolean_semiring,
+    count_semiring,
+    dirmin_semiring,
+    minplus_semiring,
+    seed_semiring,
+)
+from .spgemm import expand_join, spgemm_local
+from .types import (
+    DIRMIN_DTYPE,
+    KMER_POS_DTYPE,
+    OVERLAP_DTYPE,
+    SEED_DTYPE,
+    SUFFIX_INF,
+)
+
+__all__ = [
+    "LocalCoo",
+    "LocalCsc",
+    "LocalCsr",
+    "Dcsc",
+    "DistSparseMatrix",
+    "DistVector",
+    "Semiring",
+    "arithmetic_semiring",
+    "boolean_semiring",
+    "count_semiring",
+    "minplus_semiring",
+    "seed_semiring",
+    "dirmin_semiring",
+    "spgemm_local",
+    "expand_join",
+    "segment_starts",
+    "KMER_POS_DTYPE",
+    "SEED_DTYPE",
+    "OVERLAP_DTYPE",
+    "DIRMIN_DTYPE",
+    "SUFFIX_INF",
+]

@@ -1,0 +1,192 @@
+"""Local COO (triple) sparse matrix with arbitrary structured payloads.
+
+``scipy.sparse`` only supports numeric dtypes, so the library carries its own
+minimal COO type: three parallel arrays (row, col, val) plus a shape.  This
+is the interchange format between the distributed layer, the SpGEMM kernel,
+and the compressed formats of :mod:`repro.sparse.csr` /
+:mod:`repro.sparse.dcsc`.
+
+All operations are NumPy-vectorized; nothing here loops per-nonzero.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import SparseFormatError
+
+__all__ = ["LocalCoo", "segment_starts"]
+
+
+def segment_starts(sorted_keys: np.ndarray) -> np.ndarray:
+    """Indices where a new segment begins in a sorted key array.
+
+    Used for segmented (per-duplicate-coordinate) semiring reductions.
+    """
+    if sorted_keys.size == 0:
+        return np.empty(0, dtype=np.int64)
+    change = np.empty(sorted_keys.size, dtype=bool)
+    change[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=change[1:])
+    return np.flatnonzero(change)
+
+
+class LocalCoo:
+    """A local sparse block in coordinate format.
+
+    Parameters
+    ----------
+    shape:
+        ``(nrows, ncols)`` of the block (local coordinates).
+    rows, cols:
+        ``int64`` coordinate arrays of equal length.
+    vals:
+        Payload array of equal length; any dtype including structured.
+    """
+
+    __slots__ = ("shape", "rows", "cols", "vals")
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+    ) -> None:
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        vals = np.asarray(vals)
+        if not (rows.shape == cols.shape == (vals.shape[0],) if vals.ndim else False):
+            if rows.shape != cols.shape or rows.shape[0] != vals.shape[0]:
+                raise SparseFormatError(
+                    f"coordinate arrays disagree: rows {rows.shape}, "
+                    f"cols {cols.shape}, vals {vals.shape}"
+                )
+        nr, nc = shape
+        if rows.size:
+            if rows.min() < 0 or rows.max() >= nr:
+                raise SparseFormatError(
+                    f"row index out of range for shape {shape}"
+                )
+            if cols.min() < 0 or cols.max() >= nc:
+                raise SparseFormatError(
+                    f"col index out of range for shape {shape}"
+                )
+        self.shape = (int(nr), int(nc))
+        self.rows = rows
+        self.cols = cols
+        self.vals = vals
+
+    # -- constructors -----------------------------------------------------
+    @classmethod
+    def empty(cls, shape: tuple[int, int], dtype: np.dtype) -> "LocalCoo":
+        z = np.empty(0, dtype=np.int64)
+        return cls(shape, z, z.copy(), np.empty(0, dtype=dtype))
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "LocalCoo":
+        """Build from a dense numeric matrix (testing convenience)."""
+        rows, cols = np.nonzero(dense)
+        return cls(dense.shape, rows, cols, dense[rows, cols])
+
+    # -- basic properties ---------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.rows.size)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.vals.dtype
+
+    @property
+    def nbytes(self) -> int:
+        """Live bytes of the triple arrays (the modeled working-set unit)."""
+        return int(self.rows.nbytes + self.cols.nbytes + self.vals.nbytes)
+
+    def copy(self) -> "LocalCoo":
+        return LocalCoo(self.shape, self.rows.copy(), self.cols.copy(), self.vals.copy())
+
+    # -- transforms -----------------------------------------------------------
+    def transpose(self) -> "LocalCoo":
+        """Swap rows and columns (values unchanged -- payload mirroring, if
+        needed, is the caller's responsibility)."""
+        return LocalCoo(
+            (self.shape[1], self.shape[0]), self.cols, self.rows, self.vals
+        )
+
+    def sorted_by(self, order: str = "row") -> "LocalCoo":
+        """Return a copy sorted row-major (``"row"``) or col-major (``"col"``)."""
+        if order == "row":
+            perm = np.lexsort((self.cols, self.rows))
+        elif order == "col":
+            perm = np.lexsort((self.rows, self.cols))
+        else:
+            raise ValueError(f"order must be 'row' or 'col', got {order!r}")
+        return LocalCoo(
+            self.shape, self.rows[perm], self.cols[perm], self.vals[perm]
+        )
+
+    def deduped(
+        self, add_reduce: Callable[[np.ndarray, np.ndarray], np.ndarray]
+    ) -> "LocalCoo":
+        """Combine duplicate coordinates with a segmented semiring add.
+
+        ``add_reduce(vals_sorted, seg_starts)`` must return one value per
+        segment of equal coordinates.
+        """
+        if self.nnz == 0:
+            return self
+        perm = np.lexsort((self.cols, self.rows))
+        r, c, v = self.rows[perm], self.cols[perm], self.vals[perm]
+        keys = r * self.shape[1] + c
+        starts = segment_starts(keys)
+        if starts.size == r.size:  # already duplicate-free
+            return LocalCoo(self.shape, r, c, v)
+        return LocalCoo(
+            self.shape, r[starts], c[starts], add_reduce(v, starts)
+        )
+
+    def select(self, mask: np.ndarray) -> "LocalCoo":
+        """Keep only the entries where ``mask`` is True."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != self.rows.shape:
+            raise SparseFormatError(
+                f"mask shape {mask.shape} != nnz shape {self.rows.shape}"
+            )
+        return LocalCoo(
+            self.shape, self.rows[mask], self.cols[mask], self.vals[mask]
+        )
+
+    def map_vals(self, func: Callable[..., np.ndarray]) -> "LocalCoo":
+        """Apply a vectorized function to the payloads (CombBLAS ``Apply``).
+
+        ``func(vals, rows, cols)`` receives coordinates for position-aware
+        transforms; it must return a payload array of the same length.
+        """
+        new_vals = np.asarray(func(self.vals, self.rows, self.cols))
+        if new_vals.shape[0] != self.nnz:
+            raise SparseFormatError(
+                f"map_vals changed nnz: {new_vals.shape[0]} != {self.nnz}"
+            )
+        return LocalCoo(self.shape, self.rows, self.cols, new_vals)
+
+    def row_counts(self) -> np.ndarray:
+        """Number of nonzeros in each local row."""
+        return np.bincount(self.rows, minlength=self.shape[0]).astype(np.int64)
+
+    def col_counts(self) -> np.ndarray:
+        """Number of nonzeros in each local column."""
+        return np.bincount(self.cols, minlength=self.shape[1]).astype(np.int64)
+
+    def to_dense(self) -> np.ndarray:
+        """Dense numeric matrix (testing convenience; numeric payloads only)."""
+        if self.dtype.names is not None:
+            raise SparseFormatError("to_dense requires a numeric payload dtype")
+        out = np.zeros(self.shape, dtype=self.dtype)
+        np.add.at(out, (self.rows, self.cols), self.vals)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LocalCoo(shape={self.shape}, nnz={self.nnz}, dtype={self.dtype})"

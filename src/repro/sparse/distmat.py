@@ -1,0 +1,538 @@
+"""2D block-distributed sparse matrices (the CombBLAS workhorse).
+
+A global ``n x m`` matrix is split into ``sqrt(P) x sqrt(P)`` blocks: grid
+row ``i`` owns global rows ``row_block(n, i)`` and grid column ``j`` owns
+global columns ``col_block(m, j)``; rank ``(i, j)`` stores the intersection
+as a :class:`~repro.sparse.coo.LocalCoo` in local coordinates.
+
+Implemented CombBLAS-style operations (each with the same communication
+pattern the real library uses, charged to the cost model):
+
+* :meth:`DistSparseMatrix.spgemm` -- SUMMA: sqrt(P) stages of row/column
+  broadcasts followed by local semiring multiplies;
+* :meth:`DistSparseMatrix.transpose` -- pairwise exchange with the grid-
+  transposed partner;
+* :meth:`DistSparseMatrix.apply` / :meth:`prune` -- embarrassingly local;
+* :meth:`DistSparseMatrix.row_reduce` -- local reduction + row-communicator
+  allreduce + redistribution to the P-way vector layout;
+* :meth:`DistSparseMatrix.clear_rows_and_cols` -- the branch-masking
+  primitive (allgather the small branch-index lists, prune locally);
+* :meth:`DistSparseMatrix.lookup_join` -- aligned elementwise lookup between
+  two matrices on the same grid (transitive-reduction's compare step).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import DistributionError
+from ..mpi.grid import ProcGrid
+from ..util import sorted_lookup
+from .coo import LocalCoo, segment_starts
+from .semiring import Semiring
+from .spgemm import spgemm_local
+from .distvec import DistVector
+
+__all__ = ["DistSparseMatrix"]
+
+
+def _cumsum0(counts: np.ndarray) -> np.ndarray:
+    out = np.zeros(counts.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=out[1:])
+    return out
+
+
+def _concat_coo(shape: tuple[int, int], parts: list[LocalCoo], dtype) -> LocalCoo:
+    parts = [p for p in parts if p.nnz]
+    if not parts:
+        return LocalCoo.empty(shape, dtype)
+    rows = np.concatenate([p.rows for p in parts])
+    cols = np.concatenate([p.cols for p in parts])
+    vals = np.concatenate([p.vals for p in parts])
+    return LocalCoo(shape, rows, cols, vals)
+
+
+class DistSparseMatrix:
+    """A sparse matrix distributed in 2D blocks over a :class:`ProcGrid`."""
+
+    __slots__ = ("grid", "shape", "blocks")
+
+    def __init__(
+        self, grid: ProcGrid, shape: tuple[int, int], blocks: list[LocalCoo]
+    ) -> None:
+        if len(blocks) != grid.nprocs:
+            raise DistributionError(
+                f"expected {grid.nprocs} blocks, got {len(blocks)}"
+            )
+        n, m = shape
+        for rank, blk in enumerate(blocks):
+            i, j = grid.coords_of(rank)
+            rlo, rhi = grid.row_block(n, i)
+            clo, chi = grid.col_block(m, j)
+            if blk.shape != (rhi - rlo, chi - clo):
+                raise DistributionError(
+                    f"rank {rank} block shape {blk.shape} != "
+                    f"expected {(rhi - rlo, chi - clo)}"
+                )
+        self.grid = grid
+        self.shape = (int(n), int(m))
+        self.blocks = blocks
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(
+        cls, grid: ProcGrid, shape: tuple[int, int], dtype: np.dtype
+    ) -> "DistSparseMatrix":
+        blocks = []
+        for rank in range(grid.nprocs):
+            i, j = grid.coords_of(rank)
+            rlo, rhi = grid.row_block(shape[0], i)
+            clo, chi = grid.col_block(shape[1], j)
+            blocks.append(LocalCoo.empty((rhi - rlo, chi - clo), dtype))
+        return cls(grid, shape, blocks)
+
+    @classmethod
+    def from_global_coo(
+        cls,
+        grid: ProcGrid,
+        shape: tuple[int, int],
+        rows: np.ndarray,
+        cols: np.ndarray,
+        vals: np.ndarray,
+    ) -> "DistSparseMatrix":
+        """Distribute global triples (root-side / test convenience)."""
+        rows = np.asarray(rows, dtype=np.int64)
+        cols = np.asarray(cols, dtype=np.int64)
+        vals = np.asarray(vals)
+        n, m = shape
+        q = grid.q
+        owner_row = np.asarray(grid.owner_of_row(n, rows))
+        owner_col = np.asarray(grid.owner_of_row(m, cols))
+        owner = owner_row * q + owner_col
+        blocks = []
+        for rank in range(grid.nprocs):
+            i, j = grid.coords_of(rank)
+            rlo, _ = grid.row_block(n, i)
+            clo, _ = grid.col_block(m, j)
+            mask = owner == rank
+            i2, j2 = grid.coords_of(rank)
+            rhi = grid.row_block(n, i2)[1]
+            chi = grid.col_block(m, j2)[1]
+            blocks.append(
+                LocalCoo(
+                    (rhi - rlo, chi - clo),
+                    rows[mask] - rlo,
+                    cols[mask] - clo,
+                    vals[mask],
+                )
+            )
+        return cls(grid, shape, blocks)
+
+    @classmethod
+    def from_rank_triples(
+        cls,
+        grid: ProcGrid,
+        shape: tuple[int, int],
+        per_rank: Sequence[tuple[np.ndarray, np.ndarray, np.ndarray]],
+        add_reduce: Callable[[np.ndarray, np.ndarray], np.ndarray] | None = None,
+        dtype: np.dtype | None = None,
+    ) -> "DistSparseMatrix":
+        """Build from per-rank *global* triples, routing each to its owner.
+
+        The distributed analogue of matrix assembly: every rank contributes
+        triples it produced locally (e.g. k-mer occurrences from its reads),
+        an all-to-all routes them to the 2D block owners, and duplicates are
+        combined with ``add_reduce`` (kept as-is when ``None``).
+        """
+        world = grid.world
+        P = grid.nprocs
+        q = grid.q
+        n, m = shape
+        if dtype is None:
+            dtype = next(
+                (np.asarray(v).dtype for (_r, _c, v) in per_rank if len(v)),
+                np.dtype(np.int64),
+            )
+        send: list[list[tuple]] = [[None] * P for _ in range(P)]
+        for r, (gr, gc, gv) in enumerate(per_rank):
+            gr = np.asarray(gr, dtype=np.int64)
+            gc = np.asarray(gc, dtype=np.int64)
+            gv = np.asarray(gv)
+            owner = (
+                np.asarray(grid.owner_of_row(n, gr)) * q
+                + np.asarray(grid.owner_of_row(m, gc))
+            )
+            perm = np.argsort(owner, kind="stable")
+            gr, gc, gv, owner = gr[perm], gc[perm], gv[perm], owner[perm]
+            counts = np.bincount(owner, minlength=P)
+            bounds = _cumsum0(counts)
+            for o in range(P):
+                sl = slice(bounds[o], bounds[o + 1])
+                send[r][o] = (gr[sl], gc[sl], gv[sl])
+            world.charge_compute(r, gr.size)
+        recv = world.comm.alltoall(send)
+        blocks = []
+        for rank in range(P):
+            i, j = grid.coords_of(rank)
+            rlo, rhi = grid.row_block(n, i)
+            clo, chi = grid.col_block(m, j)
+            rs = [t[0] for t in recv[rank]]
+            cs = [t[1] for t in recv[rank]]
+            vs = [t[2] for t in recv[rank]]
+            rows = np.concatenate(rs) if rs else np.empty(0, dtype=np.int64)
+            cols = np.concatenate(cs) if cs else np.empty(0, dtype=np.int64)
+            vals = (
+                np.concatenate(vs) if vs else np.empty(0, dtype=dtype)
+            )
+            blk = LocalCoo((rhi - rlo, chi - clo), rows - rlo, cols - clo, vals)
+            if add_reduce is not None:
+                blk = blk.deduped(add_reduce)
+            blocks.append(blk)
+            world.charge_compute(rank, blk.nnz)
+        return cls(grid, shape, blocks)
+
+    # ------------------------------------------------------------------
+    # basics
+    # ------------------------------------------------------------------
+    @property
+    def dtype(self) -> np.dtype:
+        return self.blocks[0].dtype
+
+    def nnz(self) -> int:
+        return sum(b.nnz for b in self.blocks)
+
+    def block_offsets(self, rank: int) -> tuple[int, int]:
+        """Global (row, col) offset of a rank's block."""
+        i, j = self.grid.coords_of(rank)
+        return (
+            self.grid.row_block(self.shape[0], i)[0],
+            self.grid.col_block(self.shape[1], j)[0],
+        )
+
+    def to_global_coo(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Gather all triples in global coordinates (test convenience)."""
+        rows, cols, vals = [], [], []
+        for rank, blk in enumerate(self.blocks):
+            rlo, clo = self.block_offsets(rank)
+            rows.append(blk.rows + rlo)
+            cols.append(blk.cols + clo)
+            vals.append(blk.vals)
+        r = np.concatenate(rows) if rows else np.empty(0, dtype=np.int64)
+        c = np.concatenate(cols) if cols else np.empty(0, dtype=np.int64)
+        v = (
+            np.concatenate(vals)
+            if vals
+            else np.empty(0, dtype=self.dtype)
+        )
+        perm = np.lexsort((c, r))
+        return r[perm], c[perm], v[perm]
+
+    # ------------------------------------------------------------------
+    # local (no-communication) operations
+    # ------------------------------------------------------------------
+    def apply(self, func: Callable[..., np.ndarray]) -> "DistSparseMatrix":
+        """CombBLAS ``Apply``: transform payloads in place, keep pattern.
+
+        ``func(vals, global_rows, global_cols) -> vals`` is vectorized per
+        block.  This is the hook the pipeline uses for the alignment step
+        (``Apply(C, Alignment())``).
+        """
+        world = self.grid.world
+        out = []
+        for rank, blk in enumerate(self.blocks):
+            rlo, clo = self.block_offsets(rank)
+            out.append(
+                blk.map_vals(
+                    lambda v, r, c, rlo=rlo, clo=clo: func(v, r + rlo, c + clo)
+                )
+            )
+            world.charge_compute(rank, blk.nnz)
+        return DistSparseMatrix(self.grid, self.shape, out)
+
+    def prune(self, pred: Callable[..., np.ndarray]) -> "DistSparseMatrix":
+        """CombBLAS ``Prune``: drop entries where ``pred`` is True.
+
+        ``pred(vals, global_rows, global_cols) -> bool mask``.
+        """
+        world = self.grid.world
+        out = []
+        for rank, blk in enumerate(self.blocks):
+            rlo, clo = self.block_offsets(rank)
+            if blk.nnz:
+                mask = np.asarray(
+                    pred(blk.vals, blk.rows + rlo, blk.cols + clo), dtype=bool
+                )
+                out.append(blk.select(~mask))
+            else:
+                out.append(blk)
+            world.charge_compute(rank, blk.nnz)
+        return DistSparseMatrix(self.grid, self.shape, out)
+
+    def lookup_join(
+        self, other: "DistSparseMatrix"
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """For each of this matrix's entries, find the matching entry of
+        ``other`` at the same global coordinate.
+
+        Both matrices share the grid and shape, so blocks align and the join
+        is purely local.  Returns, per rank, ``(found_mask, other_vals)``
+        where ``other_vals`` is aligned with this matrix's block entries
+        (undefined where ``found_mask`` is False).  Used by transitive
+        reduction to compare R against the two-hop minima.
+        """
+        if other.shape != self.shape or other.grid is not self.grid:
+            raise DistributionError("lookup_join requires aligned matrices")
+        world = self.grid.world
+        results = []
+        for rank, (blk, oblk) in enumerate(zip(self.blocks, other.blocks)):
+            m = blk.shape[1]
+            keys = blk.rows * m + blk.cols
+            osorted = oblk.sorted_by("row")
+            okeys = osorted.rows * m + osorted.cols
+            found, pos = sorted_lookup(okeys, keys)
+            vals = (
+                osorted.vals[pos]
+                if okeys.size
+                else np.zeros(keys.size, dtype=other.dtype)
+            )
+            results.append((found, vals))
+            world.charge_compute(rank, blk.nnz + oblk.nnz)
+        return results
+
+    # ------------------------------------------------------------------
+    # communication-bearing operations
+    # ------------------------------------------------------------------
+    def transpose(self) -> "DistSparseMatrix":
+        """Global transpose: exchange blocks with the grid-transposed partner
+        and swap local coordinates.  Payloads are carried unchanged."""
+        grid, world = self.grid, self.grid.world
+        partners = grid.transpose_partners()
+        payloads = [self.blocks[partners[r]] for r in range(grid.nprocs)]
+        # sendrecv wants payloads indexed by *sender*: rank r sends its own
+        # block to its partner, so the payload list is simply our blocks.
+        received = world.comm.sendrecv(list(self.blocks), partners)
+        new_blocks = [blk.transpose() for blk in received]
+        del payloads
+        return DistSparseMatrix(
+            grid, (self.shape[1], self.shape[0]), new_blocks
+        )
+
+    def spgemm(
+        self,
+        other: "DistSparseMatrix",
+        semiring: Semiring,
+        exclude_diagonal: bool = False,
+        merge_mode: str = "bulk",
+    ) -> "DistSparseMatrix":
+        """SUMMA SpGEMM: ``C = self . other`` over ``semiring``.
+
+        sqrt(P) stages; at stage ``s`` the owners of A's block-column ``s``
+        broadcast along their grid rows and the owners of B's block-row
+        ``s`` broadcast along their grid columns, then every rank multiplies
+        the received pair locally and accumulates.
+
+        ``merge_mode`` selects the accumulation strategy -- the paper's §7
+        memory-reduction future work:
+
+        * ``"bulk"`` (default, CombBLAS-style): keep every stage's partial
+          product and merge once at the end.  Fastest, but the transient
+          working set holds all sqrt(P) partials simultaneously.
+        * ``"stream"``: fold each stage's partial into a running
+          accumulator with an immediate semiring dedup.  Peak memory drops
+          to (accumulator + one partial) at the cost of sqrt(P)-1 extra
+          merge passes -- the memory/compute trade for assembling large
+          genomes at low concurrency.
+
+        Both modes report their transient working set to the world's
+        :class:`~repro.mpi.memory.MemoryMeter`.
+        """
+        if self.shape[1] != other.shape[0]:
+            raise DistributionError(
+                f"inner dimensions disagree: {self.shape} x {other.shape}"
+            )
+        if merge_mode not in ("bulk", "stream"):
+            raise DistributionError(
+                f"unknown merge_mode {merge_mode!r}; options: bulk, stream"
+            )
+        grid, world = self.grid, self.grid.world
+        if other.grid is not grid:
+            raise DistributionError("operands must share a process grid")
+        q = grid.q
+        out_shape = (self.shape[0], other.shape[1])
+        partials: list[list[LocalCoo]] = [[] for _ in range(grid.nprocs)]
+        acc: list[LocalCoo | None] = [None] * grid.nprocs
+
+        def _out_block_shape(rank: int) -> tuple[int, int]:
+            i, j = grid.coords_of(rank)
+            rlo, rhi = grid.row_block(out_shape[0], i)
+            clo, chi = grid.col_block(out_shape[1], j)
+            return (rhi - rlo, chi - clo)
+
+        for s in range(q):
+            # broadcast A(:, s) along grid rows
+            a_recv: list[LocalCoo] = [None] * grid.nprocs
+            for i in range(q):
+                root_world_rank = grid.rank_of(i, s)
+                got = grid.row_comms[i].bcast(
+                    self.blocks[root_world_rank], root=s
+                )
+                for j in range(q):
+                    a_recv[grid.rank_of(i, j)] = got[j]
+            # broadcast B(s, :) along grid columns
+            b_recv: list[LocalCoo] = [None] * grid.nprocs
+            for j in range(q):
+                root_world_rank = grid.rank_of(s, j)
+                got = grid.col_comms[j].bcast(
+                    other.blocks[root_world_rank], root=s
+                )
+                for i in range(q):
+                    b_recv[grid.rank_of(i, j)] = got[i]
+            # local multiply-accumulate
+            for rank in range(grid.nprocs):
+                part, flops = spgemm_local(a_recv[rank], b_recv[rank], semiring)
+                world.charge_compute(rank, max(flops, 1))
+                received = a_recv[rank].nbytes + b_recv[rank].nbytes
+                if merge_mode == "bulk":
+                    if part.nnz:
+                        partials[rank].append(part)
+                    live = sum(p.nbytes for p in partials[rank])
+                    world.observe_memory(rank, received + live)
+                else:
+                    prev = acc[rank]
+                    live = (prev.nbytes if prev is not None else 0) + part.nbytes
+                    world.observe_memory(rank, received + live)
+                    if part.nnz or prev is None:
+                        pieces = [p for p in (prev, part) if p is not None]
+                        merged = _concat_coo(
+                            _out_block_shape(rank), pieces, semiring.out_dtype
+                        )
+                        merged = merged.deduped(semiring.add_reduce)
+                        world.charge_compute(rank, merged.nnz)
+                        acc[rank] = merged
+
+        blocks = []
+        for rank in range(grid.nprocs):
+            if merge_mode == "stream":
+                merged = (
+                    acc[rank]
+                    if acc[rank] is not None
+                    else LocalCoo.empty(_out_block_shape(rank), semiring.out_dtype)
+                )
+            else:
+                merged = _concat_coo(
+                    _out_block_shape(rank), partials[rank], semiring.out_dtype
+                )
+                merged = merged.deduped(semiring.add_reduce)
+                world.charge_compute(rank, merged.nnz)
+            world.observe_memory(rank, merged.nbytes)
+            blocks.append(merged)
+        result = DistSparseMatrix(grid, out_shape, blocks)
+        if exclude_diagonal:
+            result = result.prune(lambda v, r, c: r == c)
+        return result
+
+    def row_reduce(
+        self, value_func: Callable[[np.ndarray], np.ndarray] | None = None
+    ) -> DistVector:
+        """Summation reduction over the row dimension -> P-way vector.
+
+        With the default ``value_func`` (count of nonzeros) this computes
+        the degree vector **d** of §4.2.  Pattern: local bincount, then an
+        allreduce across each grid *row* communicator, then the diagonal
+        ranks redistribute segments to the P-way vector owners.
+        """
+        grid, world = self.grid, self.grid.world
+        n = self.shape[0]
+        q = grid.q
+        # 1) local per-row reduction
+        local: list[np.ndarray] = []
+        for rank, blk in enumerate(self.blocks):
+            if value_func is None:
+                contrib = blk.row_counts()
+            else:
+                weights = value_func(blk.vals)
+                contrib = np.bincount(
+                    blk.rows, weights=weights, minlength=blk.shape[0]
+                ).astype(np.int64)
+            local.append(contrib)
+            world.charge_compute(rank, blk.nnz + blk.shape[0])
+        # 2) allreduce within each grid row
+        row_sums: list[np.ndarray] = [None] * q
+        for i in range(q):
+            parts = [local[grid.rank_of(i, j)] for j in range(q)]
+            row_sums[i] = grid.row_comms[i].allreduce(parts, np.add)
+        # 3) diagonal ranks scatter segments to the P-way vector owners
+        send: list[list[np.ndarray]] = [
+            [np.empty(0, dtype=np.int64) for _ in range(grid.nprocs)]
+            for _ in range(grid.nprocs)
+        ]
+        for i in range(q):
+            diag = grid.rank_of(i, i)
+            rlo, rhi = grid.row_block(n, i)
+            for dest in range(grid.nprocs):
+                vlo, vhi = grid.vec_block(n, dest)
+                lo, hi = max(rlo, vlo), min(rhi, vhi)
+                if lo < hi:
+                    send[diag][dest] = row_sums[i][lo - rlo : hi - rlo]
+        recv = world.comm.alltoall(send)
+        blocks = []
+        for rank in range(grid.nprocs):
+            pieces = [p for p in recv[rank] if p.size]
+            vlo, vhi = grid.vec_block(n, rank)
+            if pieces:
+                blocks.append(np.concatenate(pieces))
+            else:
+                blocks.append(np.zeros(vhi - vlo, dtype=np.int64))
+        return DistVector(grid, n, blocks)
+
+    def clear_rows_and_cols(
+        self, global_indices_per_rank: Sequence[np.ndarray]
+    ) -> "DistSparseMatrix":
+        """Remove all nonzeros in the given global rows *and* columns.
+
+        The branch-masking primitive of §4.2: "the entire row -- and column,
+        since S is symmetric -- is cleared" while "the indexing of the matrix
+        does not change".  The (small) per-rank branch lists are allgathered,
+        then each rank prunes locally.
+        """
+        world = self.grid.world
+        gathered = world.comm.allgather(
+            [np.asarray(ix, dtype=np.int64) for ix in global_indices_per_rank]
+        )
+        marked = (
+            np.unique(np.concatenate(gathered))
+            if any(a.size for a in gathered)
+            else np.empty(0, dtype=np.int64)
+        )
+        out = []
+        for rank, blk in enumerate(self.blocks):
+            rlo, clo = self.block_offsets(rank)
+            if blk.nnz and marked.size:
+                bad = np.isin(blk.rows + rlo, marked) | np.isin(
+                    blk.cols + clo, marked
+                )
+                out.append(blk.select(~bad))
+            else:
+                out.append(blk)
+            world.charge_compute(rank, blk.nnz)
+        return DistSparseMatrix(self.grid, self.shape, out)
+
+    def edge_triples_per_rank(
+        self,
+    ) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Per-rank global-coordinate triples (the induced-subgraph input)."""
+        out = []
+        for rank, blk in enumerate(self.blocks):
+            rlo, clo = self.block_offsets(rank)
+            out.append((blk.rows + rlo, blk.cols + clo, blk.vals))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DistSparseMatrix(shape={self.shape}, nnz={self.nnz()}, "
+            f"grid={self.grid.q}x{self.grid.q})"
+        )

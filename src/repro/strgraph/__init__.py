@@ -1,0 +1,24 @@
+"""Bidirected string-graph edge semantics and transitive reduction."""
+
+from .edgecodec import (
+    compose_direction,
+    dst_end_bit,
+    enters_forward,
+    exits_forward,
+    mirror_direction,
+    src_end_bit,
+    walk_compatible,
+)
+from .transitive import TransitiveReductionResult, transitive_reduction
+
+__all__ = [
+    "transitive_reduction",
+    "TransitiveReductionResult",
+    "src_end_bit",
+    "dst_end_bit",
+    "walk_compatible",
+    "compose_direction",
+    "mirror_direction",
+    "enters_forward",
+    "exits_forward",
+]

@@ -1,0 +1,77 @@
+"""Bidirected edge semantics shared by the string-graph stages.
+
+An edge ``(u, v)`` of the string graph stores (:data:`OVERLAP_DTYPE`):
+
+* ``dir`` -- 2 bits: ``bit1`` = the overlap touches the *suffix* end of the
+  stored ``u``; ``bit0`` = likewise for ``v``.  The three bidirected edge
+  shapes of §2 map onto these bits (both-out, both-in, pass-through).
+* ``suffix`` -- the overhang: bases of ``v`` beyond the overlap in walk
+  direction (the quantity transitive reduction sums and compares).
+* ``pre`` / ``post`` -- the concatenation cut points of §4.4, in stored
+  coordinates, relative to the walk traversal direction.
+
+This module centralizes the bit conventions plus the walk rules the
+traversal and the transitive-reduction semiring both rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "src_end_bit",
+    "dst_end_bit",
+    "compose_direction",
+    "walk_compatible",
+    "enters_forward",
+    "exits_forward",
+    "mirror_direction",
+]
+
+
+def src_end_bit(direction: np.ndarray | int):
+    """End bit at the source read (1 = overlap at its suffix)."""
+    return (np.asarray(direction) >> 1) & 1 if isinstance(direction, np.ndarray) else (direction >> 1) & 1
+
+
+def dst_end_bit(direction: np.ndarray | int):
+    """End bit at the destination read (1 = overlap at its suffix)."""
+    return np.asarray(direction) & 1 if isinstance(direction, np.ndarray) else direction & 1
+
+
+def walk_compatible(d_in: np.ndarray | int, d_out: np.ndarray | int):
+    """Valid-walk rule at the shared vertex of consecutive edges.
+
+    Entering through one end forces exiting through the other: the walk
+    ``i -> k -> j`` is valid iff the destination-end bit of the incoming
+    edge differs from the source-end bit of the outgoing edge.
+    """
+    return dst_end_bit(d_in) != src_end_bit(d_out)
+
+
+def compose_direction(d_in, d_out):
+    """Direction of the implied two-hop edge ``i -> j``."""
+    if isinstance(d_in, np.ndarray) or isinstance(d_out, np.ndarray):
+        return (np.asarray(d_in) & 2) | (np.asarray(d_out) & 1)
+    return (d_in & 2) | (d_out & 1)
+
+
+def mirror_direction(direction):
+    """Direction of the mirrored edge ``(v, u)``: swap the two bits."""
+    if isinstance(direction, np.ndarray):
+        return ((np.asarray(direction) & 1) << 1) | ((np.asarray(direction) >> 1) & 1)
+    return ((direction & 1) << 1) | ((direction >> 1) & 1)
+
+
+def exits_forward(direction) -> bool:
+    """Does the walk traverse the *source* read forward (left-to-right in
+    stored coordinates) when leaving through this edge?  True iff the
+    overlap sits at the source's suffix end."""
+    return bool(src_end_bit(int(direction)))
+
+
+def enters_forward(direction) -> bool:
+    """Does the walk traverse the *destination* read forward after entering
+    through this edge?  True iff the overlap sits at the destination's
+    prefix end."""
+    return not bool(dst_end_bit(int(direction)))

@@ -1,0 +1,34 @@
+"""Small shared utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sorted_lookup", "cumsum0"]
+
+
+def sorted_lookup(table: np.ndarray, queries: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Locate ``queries`` in a sorted ``table``.
+
+    Returns ``(found, pos)`` where ``found`` is a boolean mask and ``pos``
+    the table index of each hit (0 where not found; mask before use).  Safe
+    for empty tables and empty queries -- the repeated inline pattern this
+    replaces indexed an empty array eagerly.
+    """
+    queries = np.asarray(queries)
+    if table.size == 0 or queries.size == 0:
+        return (
+            np.zeros(queries.shape, dtype=bool),
+            np.zeros(queries.shape, dtype=np.int64),
+        )
+    pos = np.searchsorted(table, queries)
+    pos_c = np.minimum(pos, table.size - 1)
+    found = (pos < table.size) & (table[pos_c] == queries)
+    return found, pos_c
+
+
+def cumsum0(counts: np.ndarray) -> np.ndarray:
+    """Exclusive prefix sum (offsets of packed groups)."""
+    out = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(counts, out=out[1:])
+    return out

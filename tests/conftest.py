@@ -1,0 +1,57 @@
+"""Shared fixtures: simulated worlds, grids, genomes and read sets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpi import ProcGrid, SimWorld, cori_haswell, zero_cost
+from repro.seq import GenomeSpec, make_genome, sample_reads, tile_reads
+
+GRID_SIZES = [1, 4, 9, 16]
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(params=GRID_SIZES)
+def world(request):
+    """A zero-cost world for each supported grid size."""
+    return SimWorld(request.param, zero_cost())
+
+
+@pytest.fixture
+def grid(world):
+    return ProcGrid(world)
+
+
+@pytest.fixture
+def world4():
+    return SimWorld(4, cori_haswell())
+
+
+@pytest.fixture
+def grid4(world4):
+    return ProcGrid(world4)
+
+
+@pytest.fixture(scope="session")
+def genome3k():
+    return make_genome(GenomeSpec(length=3000, seed=3))
+
+
+@pytest.fixture(scope="session")
+def tiled_reads(genome3k):
+    return tile_reads(genome3k, 400, 150, "forward")
+
+
+@pytest.fixture(scope="session")
+def tiled_reads_alternate(genome3k):
+    return tile_reads(genome3k, 400, 150, "alternate")
+
+
+@pytest.fixture(scope="session")
+def sampled_reads(genome3k):
+    return sample_reads(genome3k, depth=12, mean_length=350, rng=5, error_rate=0.0)

@@ -1,0 +1,160 @@
+"""Unit tests for overlap classification and edge-payload geometry.
+
+The decisive test is the walk-consistency one at the bottom: for every
+dovetail case (4 direction combinations) the pre/post cut points must
+concatenate two reads back into the original genome fragment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.align import OverlapClass, XdropResult, classify_overlap, extend_gapless
+from repro.seq import dna
+from repro.strgraph.edgecodec import dst_end_bit, mirror_direction, src_end_bit
+
+
+def _res(a0, a1, b0, b1, score=50):
+    return XdropResult(score=score, a_begin=a0, a_end=a1, b_begin=b0, b_end=b1)
+
+
+class TestClassification:
+    def test_contained_b(self):
+        # b fully covered by the alignment
+        info = classify_overlap(_res(5, 25, 0, 20), alen=40, blen=20, same_strand=True)
+        assert info.kind == OverlapClass.CONTAINED_B
+        assert info.forward is None
+
+    def test_contained_a(self):
+        info = classify_overlap(_res(0, 20, 5, 25), alen=20, blen=40, same_strand=True)
+        assert info.kind == OverlapClass.CONTAINED_A
+
+    def test_internal_rejected(self):
+        # alignment ends in the middle of both reads
+        info = classify_overlap(_res(10, 20, 10, 20), alen=40, blen=40, same_strand=True)
+        assert info.kind == OverlapClass.INTERNAL
+
+    def test_suffix_prefix_same_strand(self):
+        # a's suffix overlaps b's prefix
+        info = classify_overlap(_res(30, 40, 0, 10), alen=40, blen=40, same_strand=True)
+        assert info.kind == OverlapClass.DOVETAIL
+        assert info.forward.direction == 0b10
+        assert info.reverse.direction == 0b01
+
+    def test_prefix_suffix_same_strand(self):
+        info = classify_overlap(_res(0, 10, 30, 40), alen=40, blen=40, same_strand=True)
+        assert info.kind == OverlapClass.DOVETAIL
+        assert info.forward.direction == 0b01
+        assert info.reverse.direction == 0b10
+
+    def test_opposite_strand_directions(self):
+        # a suffix onto rc(b) prefix: in stored coords the overlap is at
+        # b's suffix -> both-suffix edge 0b11
+        info = classify_overlap(_res(30, 40, 0, 10), alen=40, blen=40, same_strand=False)
+        assert info.forward.direction == 0b11
+        assert info.reverse.direction == 0b11
+        info2 = classify_overlap(_res(0, 10, 30, 40), alen=40, blen=40, same_strand=False)
+        assert info2.forward.direction == 0b00
+        assert info2.reverse.direction == 0b00
+
+    def test_mirror_relationship(self):
+        info = classify_overlap(_res(30, 40, 0, 10), alen=40, blen=40, same_strand=True)
+        assert info.reverse.direction == mirror_direction(info.forward.direction)
+
+    def test_end_margin_allows_slack(self):
+        # alignment stops 3bp short of a's end: margin 5 accepts, 1 rejects
+        ok = classify_overlap(
+            _res(30, 37, 0, 7), alen=40, blen=40, same_strand=True, end_margin=5
+        )
+        assert ok.kind == OverlapClass.DOVETAIL
+        rejected = classify_overlap(
+            _res(30, 37, 0, 7), alen=40, blen=40, same_strand=True, end_margin=1
+        )
+        assert rejected.kind == OverlapClass.INTERNAL
+
+    def test_suffix_lengths(self):
+        # same strand, a[30:40) over b[0:10): b extends with blen - 10 bases
+        info = classify_overlap(_res(30, 40, 0, 10), alen=40, blen=50, same_strand=True)
+        assert info.forward.suffix == 40
+        # reverse edge: a extends with a_begin bases
+        assert info.reverse.suffix == 30
+
+
+def _join(a_codes, b_codes, info):
+    """Concatenate two reads through an edge's pre/post cut points."""
+    fields = info.forward
+    fwd_a = bool(src_end_bit(fields.direction))
+    if fwd_a:
+        head = a_codes[: fields.pre + 1]
+    else:
+        head = dna.revcomp(a_codes[fields.pre :])
+    fwd_b = dst_end_bit(fields.direction) == 0
+    if fwd_b:
+        tail = b_codes[fields.post :]
+    else:
+        tail = dna.revcomp(b_codes[: fields.post + 1])
+    return np.concatenate([head, tail])
+
+
+class TestWalkConsistency:
+    """For each strand/end combination: aligning two overlapping reads and
+    joining them via pre/post must reproduce the genome fragment."""
+
+    @pytest.fixture
+    def genome(self):
+        rng = np.random.default_rng(7)
+        return dna.random_codes(rng, 120)
+
+    def _check(self, genome, a_codes, b_codes, same_strand, seed_a, seed_b, k=11):
+        res = extend_gapless(
+            a_codes,
+            b_codes if same_strand else dna.revcomp(b_codes),
+            seed_a,
+            seed_b,
+            k,
+            x=10,
+        )
+        info = classify_overlap(
+            res, len(a_codes), len(b_codes), same_strand, end_margin=0
+        )
+        assert info.kind == OverlapClass.DOVETAIL
+        joined = _join(a_codes, b_codes, info)
+        ok_fwd = np.array_equal(joined, genome)
+        ok_rev = np.array_equal(dna.revcomp(joined), genome)
+        assert ok_fwd or ok_rev
+
+    def test_same_strand_suffix_prefix(self, genome):
+        a = genome[:70].copy()
+        b = genome[40:].copy()
+        self._check(genome, a, b, True, 45, 5)
+
+    def test_same_strand_prefix_suffix(self, genome):
+        a = genome[40:].copy()
+        b = genome[:70].copy()
+        self._check(genome, a, b, True, 5, 45)
+
+    def test_opposite_strand_b_reversed(self, genome):
+        a = genome[:70].copy()
+        b = dna.revcomp(genome[40:])
+        # seed in oriented-b coords: rc(b) == genome[40:], so same positions
+        self._check(genome, a, b, False, 45, 5)
+
+    def test_opposite_strand_other_end(self, genome):
+        a = dna.revcomp(genome[:70])
+        b = genome[40:].copy()
+        # oriented a stays stored; align a against rc(b) = rc(genome[40:])
+        # shared seed: stored a = rc(genome[:70]); rc(b) = rc(genome[40:]).
+        # rc(genome)[i] correspondence: pick seed by search
+        a_or = a
+        b_or = dna.revcomp(b)
+        found = None
+        k = 11
+        for i in range(len(a_or) - k + 1):
+            w = a_or[i : i + k]
+            for j in range(len(b_or) - k + 1):
+                if np.array_equal(w, b_or[j : j + k]):
+                    found = (i, j)
+                    break
+            if found:
+                break
+        assert found is not None
+        self._check(genome, a, b, False, found[0], found[1])

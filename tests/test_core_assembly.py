@@ -1,0 +1,198 @@
+"""Unit tests for the local linear-walk assembly (§4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.align import OverlapClass, classify_overlap, extend_gapless
+from repro.core import InducedGraph, local_assembly
+from repro.errors import AssemblyError
+from repro.seq import PackedReads, dna
+from repro.sparse import LocalCoo
+from repro.sparse.types import OVERLAP_DTYPE
+
+
+def chain_fixture(n_reads=5, read_len=60, stride=25, seed=0, alternate=False):
+    """A linear chain of overlapping reads with real edge payloads."""
+    rng = np.random.default_rng(seed)
+    genome = dna.random_codes(rng, stride * (n_reads - 1) + read_len)
+    reads = []
+    for i in range(n_reads):
+        frag = genome[i * stride : i * stride + read_len]
+        if alternate and i % 2 == 1:
+            reads.append(dna.revcomp(frag))
+        else:
+            reads.append(frag.copy())
+    rows, cols, vals = [], [], []
+    k = 11
+    for i in range(n_reads - 1):
+        a, b = reads[i], reads[i + 1]
+        # find an exact seed
+        found = None
+        b_try = [(True, b), (False, dna.revcomp(b))]
+        for same, b_or in b_try:
+            for x in range(len(a) - k + 1):
+                w = a[x : x + k]
+                for y in range(len(b_or) - k + 1):
+                    if np.array_equal(w, b_or[y : y + k]):
+                        found = (same, x, y)
+                        break
+                if found:
+                    break
+            if found:
+                break
+        same, sa, sb = found
+        res = extend_gapless(a, b if same else dna.revcomp(b), sa, sb, k, x=10)
+        info = classify_overlap(res, len(a), len(b), same, end_margin=0)
+        assert info.kind == OverlapClass.DOVETAIL
+        for u, v, f in ((i, i + 1, info.forward), (i + 1, i, info.reverse)):
+            rec = np.zeros(1, dtype=OVERLAP_DTYPE)
+            rec["dir"], rec["suffix"] = f.direction, f.suffix
+            rec["pre"], rec["post"] = f.pre, f.post
+            rows.append(u)
+            cols.append(v)
+            vals.append(rec)
+    coo = LocalCoo(
+        (n_reads, n_reads),
+        np.array(rows),
+        np.array(cols),
+        np.concatenate(vals),
+    )
+    graph = InducedGraph(coo=coo, global_ids=np.arange(n_reads))
+    packed = PackedReads.from_codes(reads, np.arange(n_reads))
+    return genome, graph, packed
+
+
+class TestLinearWalk:
+    def test_single_chain_reconstructs_genome(self):
+        genome, graph, packed = chain_fixture()
+        result = local_assembly(graph, packed)
+        assert len(result.contigs) == 1
+        contig = result.contigs[0]
+        assert contig.n_reads == 5
+        ok = np.array_equal(contig.codes, genome) or np.array_equal(
+            dna.revcomp(contig.codes), genome
+        )
+        assert ok
+        assert not contig.truncated and not contig.circular
+
+    def test_alternate_strand_chain(self):
+        genome, graph, packed = chain_fixture(alternate=True, seed=1)
+        result = local_assembly(graph, packed)
+        assert len(result.contigs) == 1
+        contig = result.contigs[0]
+        ok = np.array_equal(contig.codes, genome) or np.array_equal(
+            dna.revcomp(contig.codes), genome
+        )
+        assert ok
+
+    def test_provenance_recorded(self):
+        genome, graph, packed = chain_fixture()
+        contig = local_assembly(graph, packed).contigs[0]
+        assert sorted(contig.read_path) == list(range(5))
+        assert len(contig.orientations) == 5
+        assert set(contig.orientations) <= {1, -1}
+
+    def test_roots_counted(self):
+        _, graph, packed = chain_fixture()
+        result = local_assembly(graph, packed)
+        assert result.n_roots == 1  # second root consumed by the walk
+
+    def test_two_read_contig(self):
+        genome, graph, packed = chain_fixture(n_reads=2)
+        result = local_assembly(graph, packed)
+        assert len(result.contigs) == 1
+        assert result.contigs[0].n_reads == 2
+
+    def test_empty_graph(self):
+        graph = InducedGraph(
+            coo=LocalCoo.empty((0, 0), OVERLAP_DTYPE),
+            global_ids=np.empty(0, dtype=np.int64),
+        )
+        result = local_assembly(graph, PackedReads.empty())
+        assert result.contigs == []
+
+    def test_singletons_skipped(self):
+        genome, graph, packed = chain_fixture()
+        # add two isolated vertices
+        coo = LocalCoo(
+            (7, 7), graph.coo.rows, graph.coo.cols, graph.coo.vals
+        )
+        reads2 = [packed.codes(i) for i in range(5)]
+        reads2 += [dna.encode("ACGTACGT"), dna.encode("TTTTGGGG")]
+        graph2 = InducedGraph(coo=coo, global_ids=np.arange(7))
+        packed2 = PackedReads.from_codes(reads2, np.arange(7))
+        result = local_assembly(graph2, packed2)
+        assert len(result.contigs) == 1
+        assert result.n_singletons == 2
+
+    def test_branch_vertex_rejected(self):
+        """Degree > 2 must be impossible after branch removal."""
+        rows = np.array([0, 1, 0, 2, 0, 3])
+        cols = np.array([1, 0, 2, 0, 3, 0])
+        vals = np.zeros(6, dtype=OVERLAP_DTYPE)
+        graph = InducedGraph(
+            coo=LocalCoo((4, 4), rows, cols, vals),
+            global_ids=np.arange(4),
+        )
+        packed = PackedReads.from_codes(
+            [dna.encode("ACGT")] * 4, np.arange(4)
+        )
+        with pytest.raises(AssemblyError):
+            local_assembly(graph, packed)
+
+    def test_contig_helpers(self):
+        genome, graph, packed = chain_fixture()
+        contig = local_assembly(graph, packed).contigs[0]
+        assert contig.length == contig.codes.size
+        assert isinstance(contig.sequence(), str)
+        assert len(contig.sequence()) == contig.length
+
+
+class TestCycles:
+    def _cycle_fixture(self):
+        """Three reads overlapping in a ring (circular genome)."""
+        rng = np.random.default_rng(3)
+        circular = dna.random_codes(rng, 120)
+        wrapped = np.concatenate([circular, circular[:40]])
+        reads = [wrapped[0:60], wrapped[40:100], wrapped[80:160]]
+        # ring edges 0->1->2->0
+        k = 11
+        rows, cols, vals = [], [], []
+        for i, j in ((0, 1), (1, 2), (2, 0)):
+            a, b = reads[i], reads[j]
+            found = None
+            for x in range(len(a) - k + 1):
+                w = a[x : x + k]
+                for y in range(len(b) - k + 1):
+                    if np.array_equal(w, b[y : y + k]):
+                        found = (x, y)
+                        break
+                if found:
+                    break
+            res = extend_gapless(a, b, found[0], found[1], k, x=10)
+            info = classify_overlap(res, len(a), len(b), True, end_margin=0)
+            if info.kind != OverlapClass.DOVETAIL:
+                pytest.skip("fixture did not produce a clean ring")
+            for u, v, f in ((i, j, info.forward), (j, i, info.reverse)):
+                rec = np.zeros(1, dtype=OVERLAP_DTYPE)
+                rec["dir"], rec["suffix"] = f.direction, f.suffix
+                rec["pre"], rec["post"] = f.pre, f.post
+                rows.append(u)
+                cols.append(v)
+                vals.append(rec)
+        coo = LocalCoo((3, 3), np.array(rows), np.array(cols), np.concatenate(vals))
+        graph = InducedGraph(coo=coo, global_ids=np.arange(3))
+        return graph, PackedReads.from_codes(reads, np.arange(3))
+
+    def test_cycles_skipped_by_default(self):
+        graph, packed = self._cycle_fixture()
+        result = local_assembly(graph, packed)
+        assert result.n_cycles == 1
+        assert result.contigs == []
+
+    def test_cycles_emitted_when_requested(self):
+        graph, packed = self._cycle_fixture()
+        result = local_assembly(graph, packed, emit_cycles=True)
+        assert result.n_cycles == 1
+        assert len(result.contigs) == 1
+        assert result.contigs[0].circular

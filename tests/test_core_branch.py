@@ -1,0 +1,75 @@
+"""Unit tests for branch-vertex masking (S -> L)."""
+
+import numpy as np
+
+from repro.core import branch_removal
+from repro.sparse import DistSparseMatrix
+from repro.sparse.types import OVERLAP_DTYPE
+
+
+def graph_from_edges(grid, n, edges):
+    """Build a pattern-symmetric OVERLAP_DTYPE matrix from undirected edges."""
+    rows, cols = [], []
+    for u, v in edges:
+        rows += [u, v]
+        cols += [v, u]
+    vals = np.zeros(len(rows), dtype=OVERLAP_DTYPE)
+    vals["suffix"] = 10
+    return DistSparseMatrix.from_global_coo(
+        grid, (n, n), np.array(rows), np.array(cols), vals
+    )
+
+
+class TestBranchRemoval:
+    def test_paper_example(self, grid4):
+        """§4.2's example: chains (v1,v2,v3), (v3,v4,v5,v6), (v3,v7,v8);
+        v3 has degree 3 and must be masked, leaving three chains."""
+        edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (2, 6), (6, 7)]
+        S = graph_from_edges(grid4, 8, edges)
+        result = branch_removal(S)
+        assert result.branch_count == 1
+        branch_ids = np.concatenate(result.branch_indices)
+        assert list(branch_ids) == [2]
+        deg = result.L.row_reduce().to_global()
+        assert deg[2] == 0
+        # remaining components: {0,1}, {3,4,5}, {6,7}
+        assert list(deg) == [1, 1, 0, 1, 2, 1, 1, 1]
+
+    def test_degrees_bounded_after_masking(self, grid):
+        rng = np.random.default_rng(0)
+        n = 30
+        edges = set()
+        while len(edges) < 50:
+            u, v = rng.integers(0, n, 2)
+            if u != v:
+                edges.add((min(u, v), max(u, v)))
+        S = graph_from_edges(grid, n, sorted(edges))
+        result = branch_removal(S)
+        deg = result.L.row_reduce().to_global()
+        assert deg.max() <= 2
+
+    def test_no_branches_is_noop(self, grid4):
+        edges = [(i, i + 1) for i in range(9)]
+        S = graph_from_edges(grid4, 10, edges)
+        result = branch_removal(S)
+        assert result.branch_count == 0
+        assert result.L.nnz() == S.nnz()
+
+    def test_degree_vector_exposed(self, grid4):
+        edges = [(0, 1), (1, 2)]
+        S = graph_from_edges(grid4, 4, edges)
+        result = branch_removal(S)
+        assert list(result.degrees.to_global()) == [1, 2, 1, 0]
+
+    def test_custom_threshold(self, grid4):
+        edges = [(0, 1), (1, 2)]
+        S = graph_from_edges(grid4, 3, edges)
+        result = branch_removal(S, threshold=2)
+        assert result.branch_count == 1  # vertex 1 (degree 2) masked
+
+    def test_masking_clears_rows_and_cols(self, grid4):
+        edges = [(0, 1), (1, 2), (1, 3)]
+        S = graph_from_edges(grid4, 4, edges)
+        result = branch_removal(S)
+        rows, cols, _ = result.L.to_global_coo()
+        assert 1 not in set(rows.tolist()) | set(cols.tolist())

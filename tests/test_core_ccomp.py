@@ -1,0 +1,118 @@
+"""Unit tests for distributed connected components against networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core import connected_components, contig_sizes_distributed
+from repro.sparse import DistSparseMatrix
+
+
+def dist_graph(grid, n, edges, dtype=np.int64):
+    rows, cols = [], []
+    for u, v in edges:
+        rows += [u, v]
+        cols += [v, u]
+    return DistSparseMatrix.from_global_coo(
+        grid, (n, n), np.array(rows, dtype=np.int64),
+        np.array(cols, dtype=np.int64), np.ones(len(rows), dtype=dtype),
+    )
+
+
+def nx_labels(n, edges):
+    g = nx.Graph()
+    g.add_nodes_from(range(n))
+    g.add_edges_from(edges)
+    labels = np.empty(n, dtype=np.int64)
+    for comp in nx.connected_components(g):
+        root = min(comp)
+        for v in comp:
+            labels[v] = root
+    return labels
+
+
+class TestConnectedComponents:
+    def test_single_path(self, grid):
+        n = 20
+        edges = [(i, i + 1) for i in range(n - 1)]
+        L = dist_graph(grid, n, edges)
+        result = connected_components(L)
+        assert np.array_equal(result.labels.to_global(), np.zeros(n, dtype=np.int64))
+
+    def test_multiple_chains(self, grid4):
+        edges = [(0, 1), (1, 2), (5, 6), (8, 9), (9, 10)]
+        L = dist_graph(grid4, 12, edges)
+        got = connected_components(L).labels.to_global()
+        assert np.array_equal(got, nx_labels(12, edges))
+
+    def test_matches_networkx_on_random_graphs(self, grid):
+        rng = np.random.default_rng(17)
+        for trial in range(3):
+            n = int(rng.integers(10, 60))
+            m = int(rng.integers(0, n * 2))
+            edges = set()
+            for _ in range(m):
+                u, v = rng.integers(0, n, 2)
+                if u != v:
+                    edges.add((min(u, v), max(u, v)))
+            edges = sorted(edges)
+            L = dist_graph(grid, n, edges)
+            got = connected_components(L).labels.to_global()
+            assert np.array_equal(got, nx_labels(n, edges)), f"trial {trial}"
+
+    def test_isolated_vertices_are_own_components(self, grid4):
+        L = dist_graph(grid4, 5, [(1, 2)])
+        got = connected_components(L).labels.to_global()
+        assert got[0] == 0 and got[3] == 3 and got[4] == 4
+        assert got[1] == got[2] == 1
+
+    def test_long_path_converges_in_log_rounds(self, grid4):
+        n = 256
+        edges = [(i, i + 1) for i in range(n - 1)]
+        L = dist_graph(grid4, n, edges)
+        result = connected_components(L)
+        # hook + full pointer-jumping: far fewer than n rounds
+        assert result.rounds <= 12
+
+    def test_empty_graph(self, grid4):
+        L = dist_graph(grid4, 6, [])
+        got = connected_components(L).labels.to_global()
+        assert np.array_equal(got, np.arange(6))
+
+
+class TestContigSizes:
+    def test_sizes_at_label_positions(self, grid4):
+        edges = [(0, 1), (1, 2), (4, 5)]
+        L = dist_graph(grid4, 7, edges)
+        labels = connected_components(L).labels
+        sizes = contig_sizes_distributed(labels).to_global()
+        assert sizes[0] == 3  # component {0,1,2}
+        assert sizes[4] == 2  # component {4,5}
+        assert sizes[3] == 1 and sizes[6] == 1  # singletons
+        assert sizes.sum() == 7
+
+    def test_reduce_scatter_used(self):
+        """The paper names MPI_Reduce_scatter for this step."""
+        from repro.mpi import ProcGrid, SimWorld, cori_haswell
+
+        w = SimWorld(4, cori_haswell())
+        g = ProcGrid(w)
+        L = dist_graph(g, 8, [(0, 1)])
+        labels = connected_components(L).labels
+        before = {e.op for e in w.log.events}
+        contig_sizes_distributed(labels)
+        after = [e.op for e in w.log.events]
+        assert "reduce_scatter" in after
+
+    def test_grid_invariance(self):
+        from repro.mpi import ProcGrid, SimWorld, zero_cost
+
+        edges = [(0, 1), (1, 2), (3, 4), (6, 7), (7, 8), (8, 9)]
+        outs = []
+        for p in (1, 4, 9, 16):
+            g = ProcGrid(SimWorld(p, zero_cost()))
+            L = dist_graph(g, 10, edges)
+            labels = connected_components(L).labels
+            sizes = contig_sizes_distributed(labels).to_global()
+            outs.append((labels.to_global().tolist(), sizes.tolist()))
+        assert all(o == outs[0] for o in outs[1:])

@@ -1,0 +1,94 @@
+"""Unit tests for the ContigGeneration driver (Algorithm 2 end to end)."""
+
+import numpy as np
+import pytest
+
+from repro.core import STAGE_PREFIX, contig_generation
+from repro.kmer import build_kmer_matrix, count_kmers
+from repro.overlap import AlignmentParams, build_overlap_graph, detect_overlaps
+from repro.seq import DistReadStore, GenomeSpec, dna, make_genome, tile_reads
+from repro.strgraph import transitive_reduction
+
+
+def make_S(grid, genome_len=2400, read_len=300, stride=120, k=15, pattern="forward"):
+    genome = make_genome(GenomeSpec(length=genome_len, seed=41))
+    rs = tile_reads(genome, read_len, stride, pattern)
+    store = DistReadStore.from_global(grid, rs.reads)
+    table = count_kmers(store, k, reliable_lo=1)
+    A = build_kmer_matrix(store, table)
+    C = detect_overlaps(A)
+    R, _ = build_overlap_graph(C, store, AlignmentParams(k=k, end_margin=5))
+    S = transitive_reduction(R).S
+    return genome, rs, store, S
+
+
+class TestContigGeneration:
+    def test_reconstructs_single_contig(self, grid):
+        genome, rs, store, S = make_S(grid)
+        cset = contig_generation(S, store)
+        assert cset.count == 1
+        contig = cset.contigs[0]
+        assert contig.length == genome.size
+        ok = np.array_equal(contig.codes, genome) or np.array_equal(
+            dna.revcomp(contig.codes), genome
+        )
+        assert ok
+
+    def test_contig_set_statistics(self, grid4):
+        genome, rs, store, S = make_S(grid4)
+        cset = contig_generation(S, store)
+        assert cset.total_bases() == genome.size
+        assert cset.longest() == genome.size
+        assert len(cset.lengths()) == 1
+        assert cset.sorted_by_length()[0].length == cset.longest()
+
+    def test_stage_clocks_populated(self, grid4):
+        genome, rs, store, S = make_S(grid4)
+        world = grid4.world
+        contig_generation(S, store)
+        stages = [s for s in world.clock.stages() if s.startswith(STAGE_PREFIX)]
+        names = {s.split("/", 1)[1] for s in stages}
+        assert names == {
+            "BranchRemoval",
+            "ConnectedComponents",
+            "Partitioning",
+            "InducedSubgraph",
+            "ReadExchange",
+            "LocalAssembly",
+        }
+
+    def test_partition_diagnostics_exposed(self, grid4):
+        genome, rs, store, S = make_S(grid4)
+        cset = contig_generation(S, store)
+        assert cset.partition is not None
+        assert cset.partition.n_contigs == 1
+        assert cset.branch is not None
+        assert cset.cc_rounds >= 1
+
+    def test_partition_methods_agree_on_output(self, grid4):
+        genome, rs, store, S = make_S(grid4)
+        outs = []
+        for method in ("lpt", "greedy", "round_robin"):
+            cset = contig_generation(S, store, partition_method=method)
+            outs.append(sorted(c.sequence() for c in cset.contigs))
+        assert outs[0] == outs[1] == outs[2]
+
+    def test_min_contig_reads_filter(self, grid4):
+        genome, rs, store, S = make_S(grid4)
+        cset = contig_generation(S, store, min_contig_reads=10**6)
+        assert cset.count == 0
+
+    def test_grid_invariance_of_contigs(self):
+        from repro.mpi import ProcGrid, SimWorld, zero_cost
+
+        outs = []
+        for p in (1, 4, 9):
+            grid = ProcGrid(SimWorld(p, zero_cost()))
+            genome, rs, store, S = make_S(grid)
+            cset = contig_generation(S, store)
+            seqs = set()
+            for c in cset.contigs:
+                s = c.sequence()
+                seqs.add(min(s, dna.revcomp_str(s)))
+            outs.append(seqs)
+        assert outs[0] == outs[1] == outs[2]

@@ -1,0 +1,155 @@
+"""Unit and property tests for greedy multiway number partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import connected_components, contig_sizes_distributed, multiway_partition, partition_contigs
+from repro.errors import AssemblyError
+from repro.sparse import DistSparseMatrix
+
+
+def loads_of(sizes, assignment, nparts):
+    return np.bincount(assignment, weights=sizes, minlength=nparts)
+
+
+class TestMultiwayPartition:
+    def test_lpt_simple(self):
+        sizes = np.array([7, 5, 4, 3, 1])
+        a = multiway_partition(sizes, 2, method="lpt")
+        loads = loads_of(sizes, a, 2)
+        assert loads.max() == 10  # optimum for this instance
+
+    def test_lpt_bound(self):
+        """LPT makespan <= (4/3 - 1/(3P)) * OPT; OPT >= max(mean, max)."""
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            nparts = int(rng.integers(2, 8))
+            sizes = rng.integers(1, 100, size=int(rng.integers(1, 60)))
+            a = multiway_partition(sizes, nparts, method="lpt")
+            makespan = loads_of(sizes, a, nparts).max()
+            opt_lb = max(sizes.sum() / nparts, sizes.max())
+            assert makespan <= (4 / 3 - 1 / (3 * nparts)) * opt_lb + 1e-9
+
+    def test_greedy_bound(self):
+        """Unsorted greedy: makespan <= (2 - 1/P) * OPT."""
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            nparts = int(rng.integers(2, 8))
+            sizes = rng.integers(1, 100, size=int(rng.integers(1, 60)))
+            a = multiway_partition(sizes, nparts, method="greedy")
+            makespan = loads_of(sizes, a, nparts).max()
+            opt_lb = max(sizes.sum() / nparts, sizes.max())
+            assert makespan <= (2 - 1 / nparts) * opt_lb + 1e-9
+
+    def test_lpt_no_worse_than_round_robin(self):
+        rng = np.random.default_rng(2)
+        sizes = rng.integers(1, 1000, size=100)
+        lpt = loads_of(sizes, multiway_partition(sizes, 8, "lpt"), 8).max()
+        rr = loads_of(sizes, multiway_partition(sizes, 8, "round_robin"), 8).max()
+        assert lpt <= rr
+
+    def test_fewer_jobs_than_parts(self):
+        """n < P: some parts stay idle (the paper notes this case)."""
+        sizes = np.array([5, 3])
+        a = multiway_partition(sizes, 8)
+        loads = loads_of(sizes, a, 8)
+        assert (loads > 0).sum() == 2
+
+    def test_empty_input(self):
+        assert multiway_partition(np.array([], dtype=np.int64), 4).size == 0
+
+    def test_single_part(self):
+        sizes = np.array([3, 1, 2])
+        assert np.all(multiway_partition(sizes, 1) == 0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(AssemblyError):
+            multiway_partition(np.array([1]), 0)
+        with pytest.raises(AssemblyError):
+            multiway_partition(np.array([-1]), 2)
+        with pytest.raises(AssemblyError):
+            multiway_partition(np.array([1]), 2, method="optimal")
+
+    @given(
+        sizes=st.lists(st.integers(1, 500), min_size=1, max_size=80),
+        nparts=st.integers(1, 10),
+        method=st.sampled_from(["lpt", "greedy", "round_robin"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_every_job_assigned_once(self, sizes, nparts, method):
+        sizes = np.asarray(sizes, dtype=np.int64)
+        a = multiway_partition(sizes, nparts, method=method)
+        assert a.shape == sizes.shape
+        assert np.all((a >= 0) & (a < nparts))
+        assert loads_of(sizes, a, nparts).sum() == sizes.sum()
+
+
+def chain_graph(grid, n, chains):
+    rows, cols = [], []
+    for chain in chains:
+        for u, v in zip(chain, chain[1:]):
+            rows += [u, v]
+            cols += [v, u]
+    return DistSparseMatrix.from_global_coo(
+        grid, (n, n), np.array(rows, dtype=np.int64),
+        np.array(cols, dtype=np.int64), np.ones(len(rows), dtype=np.int64),
+    )
+
+
+class TestPartitionContigs:
+    def test_whole_contigs_share_a_rank(self, grid4):
+        chains = [[0, 1, 2, 3], [4, 5], [6, 7, 8], [9, 10]]
+        L = chain_graph(grid4, 11, chains)
+        labels = connected_components(L).labels
+        sizes = contig_sizes_distributed(labels)
+        p, result = partition_contigs(labels, sizes)
+        p_global = p.to_global()
+        for chain in chains:
+            parts = {int(p_global[v]) for v in chain}
+            assert len(parts) == 1
+            assert parts.pop() >= 0
+
+    def test_singletons_unassigned(self, grid4):
+        chains = [[0, 1, 2]]
+        L = chain_graph(grid4, 5, chains)
+        labels = connected_components(L).labels
+        sizes = contig_sizes_distributed(labels)
+        p, _ = partition_contigs(labels, sizes)
+        p_global = p.to_global()
+        assert p_global[3] == -1 and p_global[4] == -1
+
+    def test_result_diagnostics(self, grid4):
+        chains = [[0, 1, 2, 3, 4], [5, 6], [7, 8, 9]]
+        L = chain_graph(grid4, 10, chains)
+        labels = connected_components(L).labels
+        sizes = contig_sizes_distributed(labels)
+        _, result = partition_contigs(labels, sizes)
+        assert result.n_contigs == 3
+        assert sorted(result.sizes.tolist()) == [2, 3, 5]
+        assert result.makespan >= 3
+        assert result.loads.sum() == 10
+        assert result.imbalance >= 1.0
+
+    def test_min_contig_reads_filters(self, grid4):
+        chains = [[0, 1], [2, 3, 4]]
+        L = chain_graph(grid4, 5, chains)
+        labels = connected_components(L).labels
+        sizes = contig_sizes_distributed(labels)
+        _, result = partition_contigs(labels, sizes, min_contig_reads=3)
+        assert result.n_contigs == 1
+
+    def test_broadcast_happens(self):
+        """The paper: run the partitioner on one rank, broadcast p."""
+        from repro.mpi import ProcGrid, SimWorld, cori_haswell
+
+        w = SimWorld(4, cori_haswell())
+        g = ProcGrid(w)
+        L = chain_graph(g, 6, [[0, 1, 2], [3, 4, 5]])
+        labels = connected_components(L).labels
+        sizes = contig_sizes_distributed(labels)
+        before = len(w.log)
+        partition_contigs(labels, sizes)
+        ops = [e.op for e in w.log.events[before:]]
+        assert "bcast" in ops and "gather" in ops

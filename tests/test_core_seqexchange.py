@@ -1,0 +1,98 @@
+"""Unit tests for read-sequence redistribution and the count-limit path."""
+
+import numpy as np
+import pytest
+
+from repro.core import exchange_sequences
+from repro.errors import DistributionError
+from repro.seq import DistReadStore, dna
+from repro.sparse import DistVector
+
+
+def make_store(grid, n=16, seed=0):
+    rng = np.random.default_rng(seed)
+    reads = [dna.random_codes(rng, int(rng.integers(20, 50))) for _ in range(n)]
+    return reads, DistReadStore.from_global(grid, reads)
+
+
+class TestExchange:
+    def test_reads_land_on_assigned_ranks(self, grid):
+        reads, store = make_store(grid)
+        rng = np.random.default_rng(1)
+        assignment = rng.integers(0, grid.nprocs, size=len(reads))
+        p = DistVector.from_global(grid, assignment.astype(np.int64))
+        result = exchange_sequences(store, p)
+        for rank, shard in enumerate(result.shards):
+            expected = np.flatnonzero(assignment == rank)
+            assert np.array_equal(shard.ids, expected)
+            for rid in expected:
+                got = shard.codes(shard.index_of(int(rid)))
+                assert np.array_equal(got, reads[rid])
+
+    def test_unassigned_reads_dropped(self, grid4):
+        reads, store = make_store(grid4)
+        assignment = np.full(len(reads), -1, dtype=np.int64)
+        assignment[3] = 2
+        p = DistVector.from_global(grid4, assignment)
+        result = exchange_sequences(store, p)
+        total = sum(s.count for s in result.shards)
+        assert total == 1
+        assert result.shards[2].ids[0] == 3
+
+    def test_shards_are_id_sorted(self, grid4):
+        reads, store = make_store(grid4, n=20, seed=2)
+        assignment = np.zeros(len(reads), dtype=np.int64)  # all to rank 0
+        p = DistVector.from_global(grid4, assignment)
+        result = exchange_sequences(store, p)
+        assert np.array_equal(result.shards[0].ids, np.arange(len(reads)))
+
+    def test_misaligned_vector_rejected(self, grid4):
+        reads, store = make_store(grid4)
+        p = DistVector.zeros(grid4, len(reads) + 1)
+        with pytest.raises(DistributionError):
+            exchange_sequences(store, p)
+
+
+class TestCountLimit:
+    def test_small_limit_triggers_contiguous_datatype(self, grid4):
+        reads, store = make_store(grid4, n=12, seed=3)
+        rng = np.random.default_rng(4)
+        p = DistVector.from_global(
+            grid4, rng.integers(0, 4, size=len(reads)).astype(np.int64)
+        )
+        result = exchange_sequences(store, p, count_limit=8)
+        assert result.used_contiguous_datatype
+        # every transfer stays a single message (the paper's point)
+        assert all(plan.messages == 1 for plan in result.plans)
+
+    def test_limit_does_not_change_payload(self, grid4):
+        reads, store = make_store(grid4, n=12, seed=5)
+        rng = np.random.default_rng(6)
+        assignment = rng.integers(0, 4, size=len(reads)).astype(np.int64)
+
+        def run(limit):
+            p = DistVector.from_global(grid4, assignment.copy())
+            res = exchange_sequences(store, p, count_limit=limit)
+            return [
+                (list(s.ids), s.buffer.tobytes()) for s in res.shards
+            ]
+
+        unlimited = run(2**31 - 1)
+        tiny = run(4)
+        assert unlimited == tiny
+
+    def test_total_bytes_accounting(self, grid4):
+        reads, store = make_store(grid4, n=12, seed=7)
+        p = DistVector.from_global(
+            grid4,
+            np.arange(len(reads), dtype=np.int64) % 4,
+        )
+        result = exchange_sequences(store, p)
+        # bytes moved = packed sizes of reads leaving their owner
+        moved = 0
+        for r in range(4):
+            lo, hi = grid4.vec_block(len(reads), r)
+            for rid in range(lo, hi):
+                if rid % 4 != r:
+                    moved += len(reads[rid])
+        assert result.total_bytes == moved

@@ -1,0 +1,99 @@
+"""Unit tests for the reads-by-kmers matrix A."""
+
+import numpy as np
+
+from repro.kmer import build_kmer_matrix, canonical_kmers, count_kmers, encode_kmers
+from repro.seq import DistReadStore, dna
+from repro.sparse.types import KMER_POS_DTYPE
+
+
+def build(grid, reads, k, lo=1):
+    store = DistReadStore.from_global(grid, reads)
+    table = count_kmers(store, k, reliable_lo=lo)
+    return store, table, build_kmer_matrix(store, table)
+
+
+class TestShapeAndPattern:
+    def test_shape(self, grid4):
+        rng = np.random.default_rng(0)
+        reads = [dna.random_codes(rng, 40) for _ in range(10)]
+        _, table, A = build(grid4, reads, 9)
+        assert A.shape == (10, table.total)
+        assert A.dtype == KMER_POS_DTYPE
+
+    def test_every_entry_is_a_real_occurrence(self, grid4):
+        rng = np.random.default_rng(1)
+        reads = [dna.random_codes(rng, 40) for _ in range(8)]
+        k = 9
+        store, table, A = build(grid4, reads, k)
+        rows, cols, vals = A.to_global_coo()
+        # rebuild the kmer id -> value map
+        id_to_kmer = {}
+        for o in range(4):
+            base = table.offsets[o]
+            for i, v in enumerate(table.kmers_by_owner[o]):
+                id_to_kmer[int(base + i)] = int(v)
+        for r, c, val in zip(rows, cols, vals):
+            codes = reads[int(r)]
+            kmers = encode_kmers(codes, k)
+            canon, orient = canonical_kmers(kmers, k)
+            pos = int(val["pos"])
+            assert int(canon[pos]) == id_to_kmer[int(c)]
+            assert int(orient[pos]) == int(val["orient"])
+
+    def test_first_occurrence_kept(self, grid4):
+        # a read with an internal repeat: kmer appears twice
+        s = "ACGTTACGTT" + "GGCA"
+        reads = [dna.encode(s), dna.encode("TTTTTTTTTTTTTT")]
+        k = 5
+        store, table, A = build(grid4, reads, k)
+        rows, cols, vals = A.to_global_coo()
+        mask = rows == 0
+        # ACGTT occurs at 0 and 5; entry must record pos 0
+        kmers = encode_kmers(reads[0], k)
+        canon, _ = canonical_kmers(kmers, k)
+        dup_value = int(canon[0])
+        id_map = {}
+        for o in range(4):
+            base = table.offsets[o]
+            for i, v in enumerate(table.kmers_by_owner[o]):
+                id_map[int(v)] = int(base + i)
+        if dup_value in id_map:
+            col = id_map[dup_value]
+            entry = vals[mask & (cols == col)]
+            assert entry.size == 1
+            assert entry["pos"][0] == 0
+
+    def test_unreliable_kmers_excluded(self, grid4):
+        rng = np.random.default_rng(2)
+        reads = [dna.random_codes(rng, 50) for _ in range(6)]
+        store, table, A = build(grid4, reads, 11, lo=2)
+        # every column id must be < table.total
+        _, cols, _ = A.to_global_coo()
+        if cols.size:
+            assert cols.max() < table.total
+
+    def test_grid_invariance_up_to_column_relabeling(self):
+        """Column ids depend on the hash partition (owner = hash % P), so
+        they permute with P; the invariant set is (read, kmer-value, pos)."""
+        from repro.mpi import ProcGrid, SimWorld, zero_cost
+
+        rng = np.random.default_rng(3)
+        reads = [dna.random_codes(rng, 45) for _ in range(9)]
+        triple_sets = []
+        for p in (1, 4, 9):
+            grid = ProcGrid(SimWorld(p, zero_cost()))
+            _, table, A = build(grid, reads, 9)
+            id_to_kmer = {}
+            for o in range(p):
+                base = table.offsets[o]
+                for i, v in enumerate(table.kmers_by_owner[o]):
+                    id_to_kmer[int(base + i)] = int(v)
+            r, c, v = A.to_global_coo()
+            triple_sets.append(
+                {
+                    (int(ri), id_to_kmer[int(ci)], int(vi["pos"]))
+                    for ri, ci, vi in zip(r, c, v)
+                }
+            )
+        assert triple_sets[0] == triple_sets[1] == triple_sets[2]

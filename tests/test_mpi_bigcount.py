@@ -1,0 +1,77 @@
+"""Unit tests for the MPI count-limit emulation (contiguous datatype trick)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpi import MPI_COUNT_LIMIT, chunk_buffer, plan_transfer, reassemble
+
+
+class TestPlanTransfer:
+    def test_small_buffer_plain_send(self):
+        plan = plan_transfer(1000)
+        assert plan.method == "single"
+        assert plan.count == 1000
+        assert plan.type_size == 1
+        assert plan.messages == 1
+
+    def test_exactly_at_limit_stays_plain(self):
+        plan = plan_transfer(MPI_COUNT_LIMIT)
+        assert plan.method == "single"
+
+    def test_over_limit_uses_contiguous_datatype(self):
+        """The paper's workaround: one send of count=1 with a user-defined
+        contiguous datatype the size of the whole buffer."""
+        nbytes = MPI_COUNT_LIMIT + 12345
+        plan = plan_transfer(nbytes)
+        assert plan.method == "contiguous-datatype"
+        assert plan.count == 1
+        assert plan.type_size == nbytes
+        assert plan.messages == 1
+
+    def test_byte_volume_preserved_either_way(self):
+        for nbytes in (0, 1, 100, MPI_COUNT_LIMIT, MPI_COUNT_LIMIT + 1):
+            assert plan_transfer(nbytes).nbytes == nbytes
+
+    def test_injectable_limit(self):
+        plan = plan_transfer(100, limit=64)
+        assert plan.method == "contiguous-datatype"
+        assert plan.nbytes == 100
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            plan_transfer(-1)
+        with pytest.raises(ValueError):
+            plan_transfer(10, limit=0)
+
+
+class TestChunking:
+    def test_chunks_are_views(self):
+        buf = np.arange(100, dtype=np.uint8)
+        chunks = chunk_buffer(buf, limit=30)
+        assert len(chunks) == 4
+        assert chunks[0].base is buf
+
+    def test_roundtrip_identity(self):
+        buf = np.arange(256, dtype=np.uint8)
+        assert np.array_equal(reassemble(chunk_buffer(buf, limit=7)), buf)
+
+    def test_empty_buffer(self):
+        assert chunk_buffer(np.empty(0, dtype=np.uint8), limit=5) == []
+        assert reassemble([]).size == 0
+
+    def test_wrong_dtype_rejected(self):
+        with pytest.raises(TypeError):
+            chunk_buffer(np.zeros(4, dtype=np.int32), limit=2)
+
+    @given(
+        n=st.integers(min_value=0, max_value=2000),
+        limit=st.integers(min_value=1, max_value=500),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_property_chunk_reassemble_identity(self, n, limit):
+        buf = (np.arange(n) % 251).astype(np.uint8)
+        chunks = chunk_buffer(buf, limit=limit)
+        assert all(c.size <= limit for c in chunks)
+        assert np.array_equal(reassemble(chunks), buf)

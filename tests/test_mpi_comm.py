@@ -1,0 +1,200 @@
+"""Unit tests for the simulated communicator and its collectives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommunicatorError
+from repro.mpi import SimWorld, block_owner, block_range, block_sizes, cori_haswell, payload_nbytes, zero_cost
+
+
+class TestBlockDistribution:
+    def test_ranges_partition_exactly(self):
+        for n in (0, 1, 7, 100, 101):
+            for parts in (1, 3, 8):
+                ranges = [block_range(n, parts, i) for i in range(parts)]
+                assert ranges[0][0] == 0
+                assert ranges[-1][1] == n
+                for (a, b), (c, d) in zip(ranges, ranges[1:]):
+                    assert b == c
+                    assert b >= a and d >= c
+
+    def test_sizes_match_ranges(self):
+        sizes = block_sizes(103, 8)
+        assert sizes.sum() == 103
+        for i in range(8):
+            lo, hi = block_range(103, 8, i)
+            assert sizes[i] == hi - lo
+
+    def test_remainder_spread_over_leading_blocks(self):
+        sizes = block_sizes(10, 4)
+        assert list(sizes) == [3, 3, 2, 2]
+
+    def test_owner_inverts_range(self):
+        n, parts = 103, 8
+        idx = np.arange(n)
+        owners = block_owner(n, parts, idx)
+        for i in range(parts):
+            lo, hi = block_range(n, parts, i)
+            assert np.all(owners[lo:hi] == i)
+
+    def test_owner_scalar(self):
+        assert block_owner(10, 4, 0) == 0
+        assert block_owner(10, 4, 9) == 3
+
+    def test_invalid_block_index(self):
+        with pytest.raises(IndexError):
+            block_range(10, 4, 4)
+        with pytest.raises(ValueError):
+            block_range(10, 0, 0)
+
+
+class TestPayloadNbytes:
+    def test_numpy_exact(self):
+        assert payload_nbytes(np.zeros(10, dtype=np.int64)) == 80
+
+    def test_bytes_and_str(self):
+        assert payload_nbytes(b"abcd") == 4
+        assert payload_nbytes("abcd") == 4
+
+    def test_containers_sum(self):
+        assert payload_nbytes([np.zeros(2, np.int8), b"xy"]) == 4
+        assert payload_nbytes((1, 2.0)) == 16
+        assert payload_nbytes({"k": b"vv"}) == 3
+
+    def test_none_is_free(self):
+        assert payload_nbytes(None) == 0
+
+
+class TestCollectives:
+    def test_bcast_delivers_to_all(self):
+        w = SimWorld(4, zero_cost())
+        out = w.comm.bcast({"x": 1}, root=2)
+        assert len(out) == 4
+        assert all(o == {"x": 1} for o in out)
+
+    def test_bcast_bad_root(self):
+        w = SimWorld(4, zero_cost())
+        with pytest.raises(CommunicatorError):
+            w.comm.bcast(1, root=4)
+
+    def test_allgather_returns_everything(self):
+        w = SimWorld(4, zero_cost())
+        out = w.comm.allgather([10, 20, 30, 40])
+        assert out == [10, 20, 30, 40]
+
+    def test_allgather_wrong_arity(self):
+        w = SimWorld(4, zero_cost())
+        with pytest.raises(CommunicatorError):
+            w.comm.allgather([1, 2, 3])
+
+    def test_alltoall_transposes(self):
+        w = SimWorld(3, zero_cost())
+        send = [[f"{i}->{j}" for j in range(3)] for i in range(3)]
+        recv = w.comm.alltoall(send)
+        for j in range(3):
+            assert recv[j] == [f"{i}->{j}" for i in range(3)]
+
+    def test_alltoall_ragged_row_rejected(self):
+        w = SimWorld(2, zero_cost())
+        with pytest.raises(CommunicatorError):
+            w.comm.alltoall([[1, 2], [1]])
+
+    def test_allreduce_folds(self):
+        w = SimWorld(4, zero_cost())
+        assert w.comm.allreduce([1, 2, 3, 4], lambda a, b: a + b) == 10
+
+    def test_reduce_scatter_sums_and_splits(self):
+        w = SimWorld(4, zero_cost())
+        arrays = [np.full(10, r, dtype=np.int64) for r in range(4)]
+        out = w.comm.reduce_scatter(arrays)
+        assert len(out) == 4
+        glued = np.concatenate(out)
+        assert np.array_equal(glued, np.full(10, 6, dtype=np.int64))
+        assert [len(o) for o in out] == [3, 3, 2, 2]
+
+    def test_reduce_scatter_shape_mismatch(self):
+        w = SimWorld(2, zero_cost())
+        with pytest.raises(CommunicatorError):
+            w.comm.reduce_scatter([np.zeros(3), np.zeros(4)])
+
+    def test_sendrecv_exchanges_with_partner(self):
+        w = SimWorld(4, zero_cost())
+        partners = [0, 2, 1, 3]  # 1 <-> 2; 0 and 3 self
+        out = w.comm.sendrecv(["a", "b", "c", "d"], partners)
+        assert out == ["a", "c", "b", "d"]
+
+    def test_sendrecv_requires_involution(self):
+        w = SimWorld(3, zero_cost())
+        with pytest.raises(CommunicatorError):
+            w.comm.sendrecv(["a", "b", "c"], [1, 2, 0])
+
+    def test_scatter(self):
+        w = SimWorld(3, zero_cost())
+        assert w.comm.scatter([7, 8, 9]) == [7, 8, 9]
+
+    def test_gather(self):
+        w = SimWorld(3, zero_cost())
+        assert w.comm.gather([7, 8, 9], root=1) == [7, 8, 9]
+
+
+class TestChargesAndStages:
+    def test_collectives_charge_modeled_time(self):
+        w = SimWorld(4, cori_haswell())
+        w.comm.allgather([np.zeros(100)] * 4)
+        assert w.clock.total_seconds() > 0
+        assert len(w.log) == 1
+
+    def test_stage_scoping_attributes_charges(self):
+        w = SimWorld(4, cori_haswell())
+        with w.stage_scope("phase-a"):
+            w.comm.barrier()
+        with w.stage_scope("phase-b"):
+            w.comm.allgather([1, 2, 3, 4])
+        assert set(w.clock.stages()) == {"phase-a", "phase-b"}
+        assert w.clock.stage_seconds("phase-a") > 0
+        assert w.clock.stage_seconds("phase-b") > 0
+
+    def test_nested_stage_scopes(self):
+        w = SimWorld(4, cori_haswell())
+        with w.stage_scope("outer"):
+            with w.stage_scope("outer/inner"):
+                w.comm.barrier()
+            assert w.stage == "outer"
+        assert "outer/inner" in w.clock.stages()
+
+    def test_charge_compute_per_rank(self):
+        w = SimWorld(4, cori_haswell())
+        w.charge_compute(2, 1_000_000)
+        per_rank = w.clock.per_rank_seconds("default")
+        assert per_rank[2] > 0
+        assert per_rank[0] == 0
+
+    def test_charge_compute_all_wrong_arity(self):
+        w = SimWorld(4, cori_haswell())
+        with pytest.raises(CommunicatorError):
+            w.charge_compute_all([1, 2, 3])
+
+    def test_self_sends_are_free(self):
+        w = SimWorld(4, cori_haswell())
+        w.comm.sendrecv([b"x"] * 4, [0, 1, 2, 3])
+        assert w.clock.total_seconds() == 0.0
+
+    def test_subcomm_validates_ranks(self):
+        w = SimWorld(4, zero_cost())
+        with pytest.raises(CommunicatorError):
+            w.subcomm([0, 0])
+        with pytest.raises(CommunicatorError):
+            w.subcomm([5])
+        with pytest.raises(CommunicatorError):
+            w.subcomm([])
+
+    def test_world_size_validation(self):
+        with pytest.raises(CommunicatorError):
+            SimWorld(0)
+
+    def test_local_rank_translation(self):
+        w = SimWorld(4, zero_cost())
+        sub = w.subcomm([2, 3])
+        assert sub.local_rank(3) == 1
+        with pytest.raises(CommunicatorError):
+            sub.local_rank(0)

@@ -1,0 +1,93 @@
+"""Unit tests for the sqrt(P) x sqrt(P) process grid."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GridError
+from repro.mpi import ProcGrid, SimWorld, zero_cost
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("p", [1, 4, 9, 16, 25])
+    def test_square_counts_accepted(self, p):
+        g = ProcGrid(SimWorld(p, zero_cost()))
+        assert g.q * g.q == p
+
+    @pytest.mark.parametrize("p", [2, 3, 5, 8, 18, 32])
+    def test_non_square_counts_rejected(self, p):
+        with pytest.raises(GridError):
+            ProcGrid(SimWorld(p, zero_cost()))
+
+
+class TestCoordinates:
+    def test_rank_coords_roundtrip(self):
+        g = ProcGrid(SimWorld(9, zero_cost()))
+        for r in range(9):
+            i, j = g.coords_of(r)
+            assert g.rank_of(i, j) == r
+
+    def test_transpose_is_involution(self):
+        g = ProcGrid(SimWorld(16, zero_cost()))
+        for r in range(16):
+            assert g.transpose_rank(g.transpose_rank(r)) == r
+
+    def test_transpose_partners_diagonal_fixed(self):
+        g = ProcGrid(SimWorld(9, zero_cost()))
+        partners = g.transpose_partners()
+        for i in range(3):
+            assert partners[g.rank_of(i, i)] == g.rank_of(i, i)
+
+    def test_out_of_range_coords(self):
+        g = ProcGrid(SimWorld(4, zero_cost()))
+        with pytest.raises(GridError):
+            g.rank_of(2, 0)
+        with pytest.raises(GridError):
+            g.coords_of(4)
+
+
+class TestCommunicators:
+    def test_row_comms_cover_grid_rows(self):
+        g = ProcGrid(SimWorld(9, zero_cost()))
+        for i, comm in enumerate(g.row_comms):
+            assert comm.ranks == [g.rank_of(i, j) for j in range(3)]
+
+    def test_col_comms_cover_grid_cols(self):
+        g = ProcGrid(SimWorld(9, zero_cost()))
+        for j, comm in enumerate(g.col_comms):
+            assert comm.ranks == [g.rank_of(i, j) for i in range(3)]
+
+
+class TestBlockLayouts:
+    def test_vector_blocks_concatenate_to_row_blocks(self):
+        """The layout invariant the induced-subgraph algorithm exploits:
+        the P-way vector blocks of grid row i's ranks tile exactly grid row
+        i's matrix row block."""
+        g = ProcGrid(SimWorld(16, zero_cost()))
+        n = 103
+        for i in range(g.q):
+            rlo, rhi = g.row_block(n, i)
+            vlo = g.vec_block(n, g.rank_of(i, 0))[0]
+            vhi = g.vec_block(n, g.rank_of(i, g.q - 1))[1]
+            assert (vlo, vhi) == (rlo, rhi)
+
+    def test_owner_of_row_matches_blocks(self):
+        g = ProcGrid(SimWorld(9, zero_cost()))
+        n = 50
+        rows = np.arange(n)
+        owners = np.asarray(g.owner_of_row(n, rows))
+        for i in range(g.q):
+            lo, hi = g.row_block(n, i)
+            assert np.all(owners[lo:hi] == i)
+
+    def test_owner_of_vec_matches_blocks(self):
+        g = ProcGrid(SimWorld(4, zero_cost()))
+        n = 11
+        idx = np.arange(n)
+        owners = np.asarray(g.owner_of_vec(n, idx))
+        for r in range(4):
+            lo, hi = g.vec_block(n, r)
+            assert np.all(owners[lo:hi] == r)
+
+    def test_vec_sizes_sum_to_n(self):
+        g = ProcGrid(SimWorld(9, zero_cost()))
+        assert g.vec_sizes(100).sum() == 100

@@ -1,0 +1,114 @@
+"""Unit tests for the comm log, stage clock and timing report."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import CommEvent, CommLog, StageClock, TimingReport
+
+
+def _event(op="alltoallv", stage="s", nbytes=100, t=0.5):
+    return CommEvent(
+        op=op, stage=stage, nprocs=4, total_bytes=nbytes,
+        max_bytes=nbytes, messages=3, modeled_seconds=t,
+    )
+
+
+class TestCommLog:
+    def test_aggregates_filterable(self):
+        log = CommLog()
+        log.record(_event(op="bcast", stage="a", nbytes=10))
+        log.record(_event(op="alltoallv", stage="a", nbytes=20))
+        log.record(_event(op="alltoallv", stage="b", nbytes=30))
+        assert log.total_bytes() == 60
+        assert log.total_bytes(op="alltoallv") == 50
+        assert log.total_bytes(stage="a") == 30
+        assert log.total_bytes(op="alltoallv", stage="b") == 30
+        assert log.message_count() == 9
+        assert log.bytes_by_op() == {"bcast": 10, "alltoallv": 50}
+        assert log.bytes_by_stage() == {"a": 30, "b": 30}
+
+    def test_clear(self):
+        log = CommLog()
+        log.record(_event())
+        log.clear()
+        assert len(log) == 0
+        assert log.total_bytes() == 0
+
+
+class TestStageClock:
+    def test_stage_time_is_max_over_ranks(self):
+        clock = StageClock(4)
+        clock.charge_compute("x", 0, 1.0)
+        clock.charge_compute("x", 1, 3.0)
+        assert clock.stage_seconds("x") == 3.0
+
+    def test_comm_charges_all_ranks(self):
+        clock = StageClock(4)
+        clock.charge_comm_all("x", 2.0)
+        assert np.allclose(clock.per_rank_seconds("x"), 2.0)
+
+    def test_comm_charges_subset(self):
+        clock = StageClock(4)
+        clock.charge_comm_all("x", 2.0, ranks=[1, 3])
+        assert list(clock.per_rank_seconds("x")) == [0.0, 2.0, 0.0, 2.0]
+
+    def test_compute_and_comm_separated(self):
+        clock = StageClock(2)
+        clock.charge_compute("x", 0, 1.0)
+        clock.charge_comm_all("x", 0.5)
+        assert clock.stage_compute_seconds("x") == 1.0
+        assert clock.stage_comm_seconds("x") == 0.5
+        assert clock.stage_seconds("x") == 1.5
+
+    def test_total_sums_stage_makespans(self):
+        clock = StageClock(2)
+        clock.charge_compute("a", 0, 1.0)
+        clock.charge_compute("b", 1, 2.0)
+        assert clock.total_seconds() == 3.0
+
+    def test_stage_order_preserved(self):
+        clock = StageClock(1)
+        clock.charge_compute("first", 0, 1.0)
+        clock.charge_compute("second", 0, 1.0)
+        assert clock.stages() == ["first", "second"]
+
+    def test_merge_stage(self):
+        clock = StageClock(2)
+        clock.charge_compute("sub", 0, 1.0)
+        clock.charge_comm_all("sub", 0.5)
+        clock.charge_compute("main", 1, 2.0)
+        clock.merge_stage("sub", "main")
+        assert "sub" not in clock.stages()
+        assert clock.stage_seconds("main") == pytest.approx(2.5)
+
+    def test_invalid_charges(self):
+        clock = StageClock(2)
+        with pytest.raises(IndexError):
+            clock.charge_compute("x", 5, 1.0)
+        with pytest.raises(ValueError):
+            clock.charge_compute("x", 0, -1.0)
+        with pytest.raises(ValueError):
+            clock.charge_comm_all("x", -1.0)
+        with pytest.raises(ValueError):
+            StageClock(0)
+
+
+class TestTimingReport:
+    def test_from_clock_snapshot(self):
+        clock = StageClock(2)
+        clock.charge_compute("a", 0, 1.0)
+        clock.charge_comm_all("a", 0.25)
+        report = TimingReport.from_clock(clock, "test-machine", comm_bytes=42)
+        assert report.machine == "test-machine"
+        assert report.stage_seconds["a"] == pytest.approx(1.25)
+        assert report.stage_comm_seconds["a"] == pytest.approx(0.25)
+        assert report.total_seconds == pytest.approx(1.25)
+        assert report.comm_bytes == 42
+
+    def test_render_mentions_all_stages(self):
+        clock = StageClock(1)
+        clock.charge_compute("alpha", 0, 1.0)
+        clock.charge_compute("beta", 0, 2.0)
+        text = TimingReport.from_clock(clock, "m").render()
+        assert "alpha" in text and "beta" in text
+        assert "m" in text

@@ -1,0 +1,118 @@
+"""Unit tests for overlap detection (C = A.A^T) and the alignment filter."""
+
+import numpy as np
+import pytest
+
+from repro.kmer import build_kmer_matrix, count_kmers
+from repro.overlap import AlignmentParams, build_overlap_graph, detect_overlaps
+from repro.seq import DistReadStore, GenomeSpec, dna, make_genome, tile_reads
+from repro.sparse.types import OVERLAP_DTYPE, SEED_DTYPE
+
+
+def overlap_setup(grid, genome_len=2000, read_len=300, stride=120, k=15, pattern="forward"):
+    genome = make_genome(GenomeSpec(length=genome_len, seed=21))
+    rs = tile_reads(genome, read_len, stride, pattern)
+    store = DistReadStore.from_global(grid, rs.reads)
+    table = count_kmers(store, k, reliable_lo=1)
+    A = build_kmer_matrix(store, table)
+    return genome, rs, store, A
+
+
+class TestDetect:
+    def test_candidate_pairs_match_true_overlaps(self, grid4):
+        genome, rs, store, A = overlap_setup(grid4)
+        C = detect_overlaps(A)
+        assert C.dtype == SEED_DTYPE
+        rows, cols, vals = C.to_global_coo()
+        # neighbors in the tiling share 180bp => many kmers
+        n = store.nreads
+        pair_set = set(zip(rows.tolist(), cols.tolist()))
+        for i in range(n - 1):
+            assert (i, i + 1) in pair_set, f"missing adjacent pair {i}"
+        # no self-overlaps
+        assert all(r != c for r, c in pair_set)
+
+    def test_pattern_symmetric(self, grid4):
+        _, _, _, A = overlap_setup(grid4)
+        C = detect_overlaps(A)
+        rows, cols, _ = C.to_global_coo()
+        pairs = set(zip(rows.tolist(), cols.tolist()))
+        assert all((c, r) in pairs for r, c in pairs)
+
+    def test_min_shared_prunes(self, grid4):
+        _, _, _, A = overlap_setup(grid4)
+        loose = detect_overlaps(A, min_shared=1)
+        strict = detect_overlaps(A, min_shared=50)
+        assert strict.nnz() < loose.nnz()
+
+    def test_seed_counts_positive(self, grid4):
+        _, _, _, A = overlap_setup(grid4)
+        C = detect_overlaps(A)
+        _, _, vals = C.to_global_coo()
+        assert np.all(vals["count"] >= 1)
+
+    def test_opposite_strand_seeds_flagged(self, grid4):
+        genome, rs, store, A = overlap_setup(grid4, pattern="alternate")
+        C = detect_overlaps(A)
+        _, _, vals = C.to_global_coo()
+        # alternate tiling: adjacent overlaps are opposite-strand
+        assert np.any(vals["same_strand"] == 0)
+        assert np.any(vals["same_strand"] == 1)
+
+
+class TestBuildOverlapGraph:
+    def test_r_is_symmetric_with_mirrored_payloads(self, grid4):
+        genome, rs, store, A = overlap_setup(grid4)
+        C = detect_overlaps(A)
+        R, stats = build_overlap_graph(
+            C, store, AlignmentParams(k=15, end_margin=5)
+        )
+        assert R.dtype == OVERLAP_DTYPE
+        rows, cols, vals = R.to_global_coo()
+        index = {(int(r), int(c)): v for r, c, v in zip(rows, cols, vals)}
+        from repro.strgraph import mirror_direction
+
+        for (r, c), v in index.items():
+            assert (c, r) in index, f"missing mirror of ({r}, {c})"
+            assert index[(c, r)]["dir"] == mirror_direction(int(v["dir"]))
+
+    def test_stats_accounting(self, grid4):
+        genome, rs, store, A = overlap_setup(grid4)
+        C = detect_overlaps(A)
+        _, stats = build_overlap_graph(C, store, AlignmentParams(k=15, end_margin=5))
+        assert stats.pairs_aligned == C.nnz() // 2
+        assert stats.dovetails > 0
+        assert (
+            stats.dovetails + stats.contained + stats.internal + stats.low_score
+            == stats.pairs_aligned
+        )
+
+    def test_min_score_prunes_everything_when_absurd(self, grid4):
+        genome, rs, store, A = overlap_setup(grid4)
+        C = detect_overlaps(A)
+        R, stats = build_overlap_graph(
+            C, store, AlignmentParams(k=15, min_score=10**9)
+        )
+        assert R.nnz() == 0
+        assert stats.low_score == stats.pairs_aligned
+
+    def test_contained_reads_removed(self, grid4):
+        # one read fully inside another
+        genome = make_genome(GenomeSpec(length=800, seed=5))
+        reads = [genome[0:400], genome[100:250], genome[300:700]]
+        store = DistReadStore.from_global(grid4, reads)
+        table = count_kmers(store, 15, reliable_lo=1)
+        A = build_kmer_matrix(store, table)
+        C = detect_overlaps(A)
+        R, stats = build_overlap_graph(C, store, AlignmentParams(k=15, end_margin=5))
+        assert stats.contained_reads >= 1
+        rows, cols, _ = R.to_global_coo()
+        assert 1 not in set(rows.tolist()) | set(cols.tolist())
+
+    def test_suffix_values_sane(self, grid4):
+        genome, rs, store, A = overlap_setup(grid4)
+        C = detect_overlaps(A)
+        R, _ = build_overlap_graph(C, store, AlignmentParams(k=15, end_margin=5))
+        _, _, vals = R.to_global_coo()
+        assert np.all(vals["suffix"] >= 0)
+        assert np.all(vals["suffix"] <= 300)  # bounded by read length

@@ -1,0 +1,127 @@
+"""Unit tests for the end-to-end pipeline driver and its reports."""
+
+import numpy as np
+import pytest
+
+from repro import MAIN_STAGES, PipelineConfig, run_pipeline
+from repro.errors import PipelineError
+from repro.pipeline import breakdown_table, parallel_efficiency, scaling_table
+from repro.pipeline.report import ScalingPoint
+from repro.seq import GenomeSpec, dna, make_genome, tile_reads
+
+
+@pytest.fixture(scope="module")
+def tiled():
+    genome = make_genome(GenomeSpec(length=2500, seed=51))
+    return genome, tile_reads(genome, 350, 140)
+
+
+class TestConfig:
+    def test_defaults_validate(self):
+        PipelineConfig().validate()
+
+    def test_non_square_nprocs_rejected(self):
+        with pytest.raises(PipelineError):
+            PipelineConfig(nprocs=6).validate()
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(PipelineError):
+            PipelineConfig(k=40).validate()
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(PipelineError):
+            PipelineConfig(align_mode="fast").validate()
+
+    def test_bad_partition_method_rejected(self):
+        with pytest.raises(PipelineError):
+            PipelineConfig(partition_method="best").validate()
+
+    def test_machine_resolution(self):
+        assert PipelineConfig(machine="summit-cpu").resolve_machine().name == "summit-cpu"
+        with pytest.raises(PipelineError):
+            PipelineConfig(machine="cray-1").resolve_machine()
+
+    def test_machine_object_passthrough(self):
+        from repro.mpi import cori_haswell
+
+        m = cori_haswell().scaled(10)
+        assert PipelineConfig(machine=m).resolve_machine() is m
+
+
+class TestRunPipeline:
+    def test_full_run_counts(self, tiled):
+        genome, rs = tiled
+        res = run_pipeline(rs, PipelineConfig(nprocs=4, k=17, reliable_lo=1, end_margin=5))
+        c = res.counts
+        assert c["reads"] == rs.count
+        assert c["reliable_kmers"] > 0
+        assert c["A_nnz"] > 0
+        assert c["C_nnz"] > 0
+        assert c["R_nnz"] > 0
+        assert c["S_nnz"] <= c["R_nnz"]
+        assert c["contigs"] == 1
+
+    def test_all_main_stages_timed(self, tiled):
+        genome, rs = tiled
+        res = run_pipeline(rs, PipelineConfig(nprocs=4, k=17, reliable_lo=1, end_margin=5))
+        breakdown = res.main_stage_breakdown()
+        assert set(breakdown) == set(MAIN_STAGES)
+        assert all(v >= 0 for v in breakdown.values())
+        assert res.modeled_total > 0
+        assert res.report.wall_seconds > 0
+
+    def test_contig_substage_breakdown(self, tiled):
+        genome, rs = tiled
+        res = run_pipeline(rs, PipelineConfig(nprocs=4, k=17, reliable_lo=1, end_margin=5))
+        sub = res.contig_substage_breakdown()
+        assert "InducedSubgraph" in sub and "LocalAssembly" in sub
+        assert sum(sub.values()) == pytest.approx(
+            res.stage_seconds("ExtractContig"), rel=1e-9
+        )
+
+    def test_accepts_raw_read_list(self, tiled):
+        genome, rs = tiled
+        res = run_pipeline(list(rs.reads), PipelineConfig(nprocs=1, k=17, reliable_lo=1, end_margin=5))
+        assert res.contigs.count == 1
+
+    def test_align_stats_exposed(self, tiled):
+        genome, rs = tiled
+        res = run_pipeline(rs, PipelineConfig(nprocs=4, k=17, reliable_lo=1, end_margin=5))
+        assert res.align_stats.pairs_aligned > 0
+        assert res.align_stats.dovetails > 0
+
+
+class TestReports:
+    def _fake_results(self, tiled, ps=(1, 4)):
+        genome, rs = tiled
+        return [
+            run_pipeline(rs, PipelineConfig(nprocs=p, k=17, reliable_lo=1, end_margin=5))
+            for p in ps
+        ]
+
+    def test_scaling_table_renders(self, tiled):
+        results = self._fake_results(tiled)
+        text = scaling_table("unit-test", results)
+        assert "P" in text and "efficiency" in text
+        assert "unit-test" in text
+
+    def test_breakdown_table_renders(self, tiled):
+        results = self._fake_results(tiled)
+        text = breakdown_table("unit-test", results)
+        for stage in MAIN_STAGES:
+            assert stage in text
+        assert "InducedSubgraph" in text
+
+    def test_parallel_efficiency_base_is_one(self):
+        pts = [
+            ScalingPoint(nprocs=1, modeled_seconds=8.0, wall_seconds=0),
+            ScalingPoint(nprocs=4, modeled_seconds=2.5, wall_seconds=0),
+        ]
+        effs = parallel_efficiency(pts)
+        assert effs[0] == pytest.approx(1.0)
+        assert effs[1] == pytest.approx(8.0 / (2.5 * 4))
+
+    def test_speedup(self):
+        base = ScalingPoint(1, 8.0, 0.0)
+        fast = ScalingPoint(4, 2.0, 0.0)
+        assert fast.speedup_over(base) == pytest.approx(4.0)

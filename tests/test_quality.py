@@ -1,0 +1,91 @@
+"""Unit tests for the QUAST-style quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.quality import evaluate_assembly
+from repro.seq import GenomeSpec, dna, make_genome
+
+
+@pytest.fixture(scope="module")
+def ref():
+    return make_genome(GenomeSpec(length=5000, seed=61))
+
+
+class TestCompleteness:
+    def test_perfect_assembly(self, ref):
+        report = evaluate_assembly([ref.copy()], ref, k=21)
+        assert report.completeness == pytest.approx(1.0)
+        assert report.misassemblies == 0
+        assert report.longest_contig == 5000
+        assert report.n_contigs == 1
+
+    def test_reverse_complement_contig_counts(self, ref):
+        report = evaluate_assembly([dna.revcomp(ref)], ref, k=21)
+        assert report.completeness == pytest.approx(1.0)
+        assert report.misassemblies == 0
+
+    def test_half_genome(self, ref):
+        report = evaluate_assembly([ref[:2500].copy()], ref, k=21)
+        assert 0.45 < report.completeness < 0.55
+
+    def test_overlapping_contigs_not_double_counted(self, ref):
+        contigs = [ref[:3000].copy(), ref[2000:5000].copy()]
+        report = evaluate_assembly(contigs, ref, k=21)
+        assert report.completeness == pytest.approx(1.0, abs=0.01)
+        assert report.covered_bases <= 5000
+
+    def test_empty_assembly(self, ref):
+        report = evaluate_assembly([], ref, k=21)
+        assert report.completeness == 0.0
+        assert report.n_contigs == 0
+        assert report.longest_contig == 0
+
+
+class TestMisassembly:
+    def test_chimeric_contig_detected(self, ref):
+        """A contig gluing two distant genome regions is a misassembly."""
+        chimera = np.concatenate([ref[:1000], ref[3500:4500]])
+        report = evaluate_assembly([chimera], ref, k=21)
+        assert report.misassemblies == 1
+
+    def test_inversion_detected(self, ref):
+        chimera = np.concatenate([ref[:1000], dna.revcomp(ref[1000:2000])])
+        report = evaluate_assembly([chimera], ref, k=21)
+        assert report.misassemblies == 1
+
+    def test_adjacent_blocks_are_fine(self, ref):
+        """Contigs matching the reference contiguously are not flagged."""
+        report = evaluate_assembly([ref[100:4000].copy()], ref, k=21)
+        assert report.misassemblies == 0
+
+    def test_foreign_contig_unaligned(self, ref):
+        rng = np.random.default_rng(99)
+        foreign = dna.random_codes(rng, 800)
+        report = evaluate_assembly([foreign], ref, k=21)
+        assert report.unaligned_contigs == 1
+        assert report.misassemblies == 0
+
+
+class TestLengthStats:
+    def test_n50(self, ref):
+        contigs = [ref[:2500].copy(), ref[2500:4000].copy(), ref[4000:5000].copy()]
+        report = evaluate_assembly(contigs, ref, k=21)
+        # lengths 2500, 1500, 1000; total 5000; N50 = 2500
+        assert report.n50 == 2500
+        assert report.total_bases == 5000
+
+    def test_ng50_uses_reference_length(self, ref):
+        contigs = [ref[:1000].copy()]
+        report = evaluate_assembly(contigs, ref, k=21)
+        assert report.ng50 == 1000  # only contig covers < half the genome
+
+    def test_duplication_ratio(self, ref):
+        contigs = [ref[:2000].copy(), ref[:2000].copy()]
+        report = evaluate_assembly(contigs, ref, k=21)
+        assert report.duplication_ratio > 1.5
+
+    def test_row_rendering(self, ref):
+        report = evaluate_assembly([ref.copy()], ref, k=21)
+        text = report.row()
+        assert "completeness" in text and "misassembled" in text

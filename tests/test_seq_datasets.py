@@ -1,0 +1,49 @@
+"""Unit tests for the Table 2 dataset presets."""
+
+import pytest
+
+from repro.seq import PRESETS, build_dataset
+
+
+class TestPresets:
+    def test_all_paper_species_present(self):
+        assert set(PRESETS) == {"o_sativa", "c_elegans", "h_sapiens"}
+
+    def test_table2_characteristics(self):
+        """Depth, genome size and error rate columns of Table 2."""
+        assert PRESETS["o_sativa"].depth == 30
+        assert PRESETS["c_elegans"].depth == 40
+        assert PRESETS["h_sapiens"].depth == 10
+        assert PRESETS["o_sativa"].paper_genome_mb == 500
+        assert PRESETS["c_elegans"].paper_genome_mb == 100
+        assert PRESETS["h_sapiens"].paper_genome_mb == 3200
+        assert PRESETS["h_sapiens"].error_rate == pytest.approx(0.15)
+        assert PRESETS["c_elegans"].error_rate == pytest.approx(0.005)
+
+    def test_relative_genome_sizes_preserved(self):
+        scale = 50_000
+        osa = PRESETS["o_sativa"].scaled_genome_length(scale)
+        cel = PRESETS["c_elegans"].scaled_genome_length(scale)
+        hsa = PRESETS["h_sapiens"].scaled_genome_length(scale)
+        assert osa == pytest.approx(5 * cel, rel=0.01)
+        assert hsa == pytest.approx(32 * cel, rel=0.01)
+
+    def test_build_reaches_depth(self):
+        ds = build_dataset("c_elegans", scale=50_000, seed=1)
+        assert ds.depth() >= PRESETS["c_elegans"].depth * 0.95
+
+    def test_build_by_preset_object(self):
+        ds = build_dataset(PRESETS["o_sativa"], scale=100_000)
+        assert ds.count > 0
+
+    def test_deterministic_given_seed(self):
+        a = build_dataset("c_elegans", scale=50_000, seed=5)
+        b = build_dataset("c_elegans", scale=50_000, seed=5)
+        assert a.count == b.count
+        assert all((x == y).all() for x, y in zip(a.reads[:5], b.reads[:5]))
+
+    def test_high_error_preset_has_errors(self):
+        ds = build_dataset("h_sapiens", scale=200_000, seed=2)
+        errors = sum(r.nerrors for r in ds.records)
+        total = sum(len(r) for r in ds.reads)
+        assert errors / total > 0.05

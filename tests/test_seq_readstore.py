@@ -1,0 +1,127 @@
+"""Unit tests for packed read storage and the distributed read store."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SequenceError
+from repro.seq import DistReadStore, PackedReads, dna
+
+
+class TestPackedReads:
+    def test_from_strings_roundtrip(self):
+        pr = PackedReads.from_strings(["ACGT", "TT", "GGGA"])
+        assert pr.count == 3
+        assert pr.string(0) == "ACGT"
+        assert pr.string(1) == "TT"
+        assert pr.string(2) == "GGGA"
+        assert pr.total_bases == 10
+
+    def test_codes_are_zero_copy_views(self):
+        pr = PackedReads.from_strings(["ACGT", "TTT"])
+        view = pr.codes(1)
+        assert view.base is pr.buffer
+
+    def test_subsequence_view(self):
+        pr = PackedReads.from_strings(["ACGTACGT"])
+        assert dna.decode(pr.subsequence(0, 2, 6)) == "GTAC"
+
+    def test_lengths(self):
+        pr = PackedReads.from_strings(["A", "ACG", ""])
+        assert list(pr.lengths()) == [1, 3, 0]
+
+    def test_index_of_bisects_ids(self):
+        pr = PackedReads.from_codes(
+            [dna.encode("AC"), dna.encode("GG")], ids=[10, 42]
+        )
+        assert pr.index_of(42) == 1
+        with pytest.raises(SequenceError):
+            pr.index_of(7)
+
+    def test_select_preserves_order(self):
+        pr = PackedReads.from_strings(["AA", "CC", "GG"])
+        sub = pr.select(np.array([2, 0]))
+        assert sub.string(0) == "GG"
+        assert sub.string(1) == "AA"
+        assert list(sub.ids) == [2, 0]
+
+    def test_empty(self):
+        pr = PackedReads.empty()
+        assert pr.count == 0 and pr.total_bases == 0
+
+    def test_iteration(self):
+        pr = PackedReads.from_strings(["AC", "GT"])
+        items = [(i, dna.decode(c)) for i, c in pr]
+        assert items == [(0, "AC"), (1, "GT")]
+
+    def test_validation(self):
+        with pytest.raises(SequenceError):
+            PackedReads(
+                np.zeros(4, np.uint8), np.array([0, 2]), np.array([0, 1])
+            )
+        with pytest.raises(SequenceError):
+            PackedReads(
+                np.zeros(4, np.uint8), np.array([0, 2, 1]), np.array([0, 1])
+            )
+
+
+class TestDistReadStore:
+    def _reads(self, n=23, seed=0):
+        rng = np.random.default_rng(seed)
+        return [dna.random_codes(rng, int(rng.integers(5, 30))) for _ in range(n)]
+
+    def test_distribution_covers_all_reads(self, grid):
+        reads = self._reads()
+        store = DistReadStore.from_global(grid, reads)
+        assert store.nreads == len(reads)
+        total = sum(s.count for s in store.shards)
+        assert total == len(reads)
+
+    def test_shards_align_with_vec_blocks(self, grid):
+        reads = self._reads()
+        store = DistReadStore.from_global(grid, reads)
+        for rank, shard in enumerate(store.shards):
+            lo, hi = grid.vec_block(len(reads), rank)
+            assert np.array_equal(shard.ids, np.arange(lo, hi))
+
+    def test_codes_global_consistency(self, grid4):
+        reads = self._reads()
+        store = DistReadStore.from_global(grid4, reads)
+        for i in (0, 10, 22):
+            assert np.array_equal(store.codes_global(i), reads[i])
+
+    def test_owner_of_matches_shards(self, grid):
+        reads = self._reads()
+        store = DistReadStore.from_global(grid, reads)
+        for rank, shard in enumerate(store.shards):
+            for rid in shard.ids:
+                assert int(store.owner_of(int(rid))) == rank
+
+    def test_fetch_delivers_requested_reads(self, grid):
+        reads = self._reads()
+        store = DistReadStore.from_global(grid, reads)
+        rng = np.random.default_rng(1)
+        requests = [
+            rng.choice(len(reads), size=5, replace=False)
+            for _ in range(grid.nprocs)
+        ]
+        fetched = store.fetch(requests)
+        for req, pack in zip(requests, fetched):
+            for rid in req:
+                got = pack.codes(pack.index_of(int(rid)))
+                assert np.array_equal(got, reads[rid])
+
+    def test_fetch_dedupes_requests(self, grid4):
+        reads = self._reads()
+        store = DistReadStore.from_global(grid4, reads)
+        fetched = store.fetch(
+            [np.array([3, 3, 3])] + [np.empty(0, dtype=np.int64)] * 3
+        )
+        assert fetched[0].count == 1
+
+    def test_lengths_and_total(self, grid4):
+        reads = self._reads()
+        store = DistReadStore.from_global(grid4, reads)
+        assert store.total_bases() == sum(len(r) for r in reads)
+        assert np.array_equal(
+            store.lengths_global(), np.array([len(r) for r in reads])
+        )

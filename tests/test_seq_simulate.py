@@ -1,0 +1,121 @@
+"""Unit tests for the genome/read simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SequenceError
+from repro.seq import GenomeSpec, dna, make_genome, sample_reads, tile_reads
+
+
+class TestGenome:
+    def test_length_and_determinism(self):
+        spec = GenomeSpec(length=5000, seed=42)
+        g1, g2 = make_genome(spec), make_genome(spec)
+        assert g1.size == 5000
+        assert np.array_equal(g1, g2)
+
+    def test_different_seeds_differ(self):
+        a = make_genome(GenomeSpec(length=1000, seed=1))
+        b = make_genome(GenomeSpec(length=1000, seed=2))
+        assert not np.array_equal(a, b)
+
+    def test_repeats_create_duplicate_segments(self):
+        spec = GenomeSpec(
+            length=20_000, n_repeats=3, repeat_length=500, repeat_copies=3, seed=7
+        )
+        g = make_genome(spec)
+        text = dna.decode(g)
+        # at least one 200bp window occurs twice
+        found = any(text.count(text[i : i + 200]) >= 2 for i in range(0, 19_000, 400))
+        assert found
+
+    def test_invalid_specs(self):
+        with pytest.raises(SequenceError):
+            make_genome(GenomeSpec(length=0))
+        with pytest.raises(SequenceError):
+            make_genome(
+                GenomeSpec(length=100, n_repeats=1, repeat_length=90, repeat_copies=2)
+            )
+
+
+class TestSampleReads:
+    def test_reaches_target_depth(self):
+        g = make_genome(GenomeSpec(length=10_000, seed=1))
+        rs = sample_reads(g, depth=10, mean_length=500, rng=2)
+        assert rs.depth() >= 10
+
+    def test_error_free_reads_are_substrings(self):
+        g = make_genome(GenomeSpec(length=5000, seed=3))
+        rs = sample_reads(g, depth=3, mean_length=300, rng=4, error_rate=0.0)
+        text = dna.decode(g)
+        for codes, rec in zip(rs.reads, rs.records):
+            s = dna.decode(codes)
+            if rec.strand == -1:
+                s = dna.revcomp_str(s)
+            assert s in text
+            assert rec.nerrors == 0
+
+    def test_records_track_positions(self):
+        g = make_genome(GenomeSpec(length=5000, seed=5))
+        rs = sample_reads(g, depth=2, mean_length=200, rng=6, error_rate=0.0)
+        for codes, rec in zip(rs.reads, rs.records):
+            frag = g[rec.start : rec.start + rec.length]
+            expected = dna.revcomp(frag) if rec.strand == -1 else frag
+            assert np.array_equal(codes, expected)
+
+    def test_error_rate_roughly_respected(self):
+        g = make_genome(GenomeSpec(length=20_000, seed=7))
+        rs = sample_reads(g, depth=5, mean_length=500, rng=8, error_rate=0.05)
+        total = sum(len(r) for r in rs.reads)
+        errors = sum(rec.nerrors for rec in rs.records)
+        assert 0.02 < errors / total < 0.08
+
+    def test_both_strands_sampled(self):
+        g = make_genome(GenomeSpec(length=5000, seed=9))
+        rs = sample_reads(g, depth=5, mean_length=200, rng=10)
+        strands = {rec.strand for rec in rs.records}
+        assert strands == {1, -1}
+
+    def test_strand_flips_disabled(self):
+        g = make_genome(GenomeSpec(length=5000, seed=9))
+        rs = sample_reads(g, depth=2, mean_length=200, rng=10, strand_flips=False)
+        assert all(rec.strand == 1 for rec in rs.records)
+
+    def test_genome_shorter_than_read_rejected(self):
+        g = make_genome(GenomeSpec(length=100, seed=1))
+        with pytest.raises(SequenceError):
+            sample_reads(g, depth=1, mean_length=200, rng=0)
+
+    def test_mean_length_stat(self):
+        g = make_genome(GenomeSpec(length=10_000, seed=1))
+        rs = sample_reads(g, depth=5, mean_length=400, rng=3)
+        assert 250 < rs.mean_length() < 600
+
+
+class TestTileReads:
+    def test_tiling_covers_genome(self):
+        g = make_genome(GenomeSpec(length=2000, seed=1))
+        rs = tile_reads(g, 300, 100)
+        covered = np.zeros(2000, dtype=bool)
+        for rec in rs.records:
+            covered[rec.start : rec.start + rec.length] = True
+        assert covered.all()
+
+    def test_consecutive_overlap(self):
+        g = make_genome(GenomeSpec(length=2000, seed=1))
+        rs = tile_reads(g, 300, 100)
+        for a, b in zip(rs.records, rs.records[1:]):
+            assert b.start - a.start <= 100
+
+    def test_alternate_strand_pattern(self):
+        g = make_genome(GenomeSpec(length=2000, seed=1))
+        rs = tile_reads(g, 300, 100, "alternate")
+        strands = [rec.strand for rec in rs.records]
+        assert strands[0] == 1 and strands[1] == -1
+
+    def test_invalid_parameters(self):
+        g = make_genome(GenomeSpec(length=2000, seed=1))
+        with pytest.raises(SequenceError):
+            tile_reads(g, 100, 100)
+        with pytest.raises(SequenceError):
+            tile_reads(g, 100, 50, "zigzag")

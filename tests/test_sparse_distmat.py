@@ -1,0 +1,186 @@
+"""Unit tests for the 2D block-distributed sparse matrix."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import DistributionError
+from repro.mpi import ProcGrid, SimWorld, cori_haswell, zero_cost
+from repro.sparse import DistSparseMatrix, arithmetic_semiring
+
+
+def random_dist(grid, n, m, density=0.2, seed=0):
+    rng = np.random.default_rng(seed)
+    M = sp.random(n, m, density=density, random_state=rng, format="coo")
+    return M, DistSparseMatrix.from_global_coo(grid, (n, m), M.row, M.col, M.data)
+
+
+def dense_of(dist):
+    r, c, v = dist.to_global_coo()
+    out = np.zeros(dist.shape)
+    out[r, c] = v
+    return out
+
+
+class TestDistribution:
+    def test_roundtrip_any_grid(self, grid):
+        M, dist = random_dist(grid, 23, 17, seed=3)
+        assert np.allclose(dense_of(dist), M.toarray())
+        assert dist.nnz() == M.nnz
+
+    def test_blocks_cover_without_overlap(self, grid):
+        _, dist = random_dist(grid, 23, 17, seed=4)
+        total = sum(b.nnz for b in dist.blocks)
+        assert total == dist.nnz()
+
+    def test_block_shape_validation(self):
+        w = SimWorld(4, zero_cost())
+        g = ProcGrid(w)
+        _, dist = random_dist(g, 10, 10)
+        with pytest.raises(DistributionError):
+            DistSparseMatrix(g, (10, 10), dist.blocks[:2])
+
+    def test_from_rank_triples_routes_to_owners(self, grid):
+        n = 11
+        # every rank contributes the same diagonal; keep-first dedupe
+        per_rank = [
+            (np.arange(n), np.arange(n), np.full(n, float(r + 1)))
+            for r in range(grid.nprocs)
+        ]
+        dist = DistSparseMatrix.from_rank_triples(
+            grid, (n, n), per_rank, add_reduce=lambda v, s: v[s]
+        )
+        assert dist.nnz() == n
+        d = dense_of(dist)
+        assert np.allclose(np.diag(d), 1.0)
+
+
+class TestLocalOps:
+    def test_apply_transforms_with_global_coords(self, grid4):
+        M, dist = random_dist(grid4, 9, 9, seed=5)
+        out = dist.apply(lambda v, r, c: r * 100.0 + c)
+        rr, cc, vv = out.to_global_coo()
+        assert np.allclose(vv, rr * 100.0 + cc)
+
+    def test_prune_removes_matching(self, grid4):
+        M, dist = random_dist(grid4, 12, 12, seed=6)
+        out = dist.prune(lambda v, r, c: r == c)
+        rr, cc, _ = out.to_global_coo()
+        assert np.all(rr != cc)
+
+    def test_lookup_join_finds_aligned_entries(self, grid4):
+        _, dist = random_dist(grid4, 10, 10, seed=7)
+        joins = dist.lookup_join(dist)
+        for (found, vals), blk in zip(joins, dist.blocks):
+            assert found.all()
+            assert np.allclose(vals, blk.vals)
+
+    def test_lookup_join_misaligned_shapes_rejected(self, grid4):
+        _, a = random_dist(grid4, 10, 10)
+        _, b = random_dist(grid4, 11, 11)
+        with pytest.raises(DistributionError):
+            a.lookup_join(b)
+
+
+class TestTranspose:
+    def test_transpose_matches_scipy(self, grid):
+        M, dist = random_dist(grid, 14, 9, seed=8)
+        assert np.allclose(dense_of(dist.transpose()), M.toarray().T)
+
+    def test_double_transpose_identity(self, grid4):
+        M, dist = random_dist(grid4, 13, 13, seed=9)
+        assert np.allclose(dense_of(dist.transpose().transpose()), M.toarray())
+
+    def test_transpose_charges_ptp(self):
+        w = SimWorld(4, cori_haswell())
+        g = ProcGrid(w)
+        _, dist = random_dist(g, 16, 16, seed=10)
+        before = len(w.log)
+        dist.transpose()
+        ops = [e.op for e in w.log.events[before:]]
+        assert "ptp" in ops
+
+
+class TestSpgemm:
+    def test_matches_scipy_all_grids(self, grid):
+        rng = np.random.default_rng(11)
+        A = sp.random(19, 23, density=0.15, random_state=rng, format="coo")
+        B = sp.random(23, 17, density=0.15, random_state=rng, format="coo")
+        dA = DistSparseMatrix.from_global_coo(grid, A.shape, A.row, A.col, A.data)
+        dB = DistSparseMatrix.from_global_coo(grid, B.shape, B.row, B.col, B.data)
+        dC = dA.spgemm(dB, arithmetic_semiring())
+        assert np.allclose(dense_of(dC), (A @ B).toarray())
+
+    def test_grid_size_invariance(self):
+        """Results are bit-identical across P (invariant 3 of DESIGN.md)."""
+        rng = np.random.default_rng(12)
+        A = sp.random(21, 21, density=0.2, random_state=rng, format="coo")
+        references = []
+        for p in (1, 4, 9, 16):
+            g = ProcGrid(SimWorld(p, zero_cost()))
+            dA = DistSparseMatrix.from_global_coo(g, A.shape, A.row, A.col, A.data)
+            dC = dA.spgemm(dA, arithmetic_semiring())
+            references.append(dense_of(dC))
+        for other in references[1:]:
+            assert np.allclose(references[0], other)
+
+    def test_inner_dim_mismatch(self, grid4):
+        _, a = random_dist(grid4, 5, 6)
+        _, b = random_dist(grid4, 5, 6)
+        with pytest.raises(DistributionError):
+            a.spgemm(b, arithmetic_semiring())
+
+    def test_exclude_diagonal(self, grid4):
+        _, a = random_dist(grid4, 8, 8, density=0.5, seed=13)
+        c = a.spgemm(a, arithmetic_semiring(), exclude_diagonal=True)
+        rr, cc, _ = c.to_global_coo()
+        assert np.all(rr != cc)
+
+    def test_spgemm_charges_compute_and_bcast(self):
+        w = SimWorld(4, cori_haswell())
+        g = ProcGrid(w)
+        _, a = random_dist(g, 16, 16, density=0.4, seed=14)
+        a.spgemm(a, arithmetic_semiring())
+        assert w.clock.total_seconds() > 0
+        assert w.log.total_bytes(op="bcast") > 0
+
+
+class TestRowReduce:
+    def test_degree_vector_matches_scipy(self, grid):
+        M, dist = random_dist(grid, 25, 25, density=0.2, seed=15)
+        deg = dist.row_reduce()
+        expected = (M.toarray() != 0).sum(axis=1)
+        assert np.array_equal(deg.to_global(), expected)
+
+    def test_weighted_reduce(self, grid4):
+        M, dist = random_dist(grid4, 10, 10, seed=16)
+        sums = dist.row_reduce(value_func=lambda v: v)
+        expected = M.toarray().sum(axis=1)
+        # int64 bincount truncation does not apply: weights are float
+        assert np.allclose(sums.to_global(), expected.astype(np.int64), atol=1.0)
+
+
+class TestClearRowsAndCols:
+    def test_masks_rows_and_columns(self, grid4):
+        M, dist = random_dist(grid4, 12, 12, density=0.5, seed=17)
+        masked = dist.clear_rows_and_cols(
+            [np.array([3]), np.array([7]), np.array([], dtype=np.int64),
+             np.array([], dtype=np.int64)]
+        )
+        rr, cc, _ = masked.to_global_coo()
+        for bad in (3, 7):
+            assert not np.any(rr == bad)
+            assert not np.any(cc == bad)
+
+    def test_indexing_unchanged(self, grid4):
+        """Paper: "the indexing of the matrix does not change"."""
+        _, dist = random_dist(grid4, 12, 12, seed=18)
+        masked = dist.clear_rows_and_cols([np.array([0])] + [np.array([], dtype=np.int64)] * 3)
+        assert masked.shape == dist.shape
+
+    def test_empty_mask_is_noop(self, grid4):
+        _, dist = random_dist(grid4, 12, 12, seed=19)
+        masked = dist.clear_rows_and_cols(
+            [np.array([], dtype=np.int64)] * grid4.nprocs
+        )
+        assert masked.nnz() == dist.nnz()

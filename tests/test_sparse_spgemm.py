@@ -1,0 +1,105 @@
+"""Unit and property tests for the local SpGEMM kernel."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SparseFormatError
+from repro.sparse import LocalCoo, arithmetic_semiring, count_semiring, expand_join, spgemm_local
+
+
+def to_coo(m: sp.coo_matrix) -> LocalCoo:
+    return LocalCoo(m.shape, m.row, m.col, m.data)
+
+
+class TestExpandJoin:
+    def test_simple_join(self):
+        a = np.array([1, 2, 2, 5])
+        b = np.array([2, 2, 3, 5, 5])
+        ia, ib = expand_join(a, b)
+        pairs = set(zip(ia.tolist(), ib.tolist()))
+        # key 2: a idx {1,2} x b idx {0,1}; key 5: a idx {3} x b idx {3,4}
+        assert pairs == {(1, 0), (1, 1), (2, 0), (2, 1), (3, 3), (3, 4)}
+
+    def test_no_common_keys(self):
+        ia, ib = expand_join(np.array([1, 2]), np.array([3, 4]))
+        assert ia.size == 0 and ib.size == 0
+
+    def test_deterministic_order(self):
+        a = np.array([7, 7])
+        b = np.array([7, 7])
+        ia, ib = expand_join(a, b)
+        assert list(zip(ia, ib)) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+
+class TestSpgemmLocal:
+    def test_matches_scipy(self):
+        rng = np.random.default_rng(1)
+        A = sp.random(20, 15, density=0.2, random_state=rng, format="coo")
+        B = sp.random(15, 25, density=0.2, random_state=rng, format="coo")
+        C, flops = spgemm_local(to_coo(A), to_coo(B), arithmetic_semiring())
+        ref = (A @ B).toarray()
+        got = np.zeros_like(ref)
+        got[C.rows, C.cols] = C.vals
+        assert np.allclose(got, ref)
+        assert flops > 0
+
+    def test_dimension_mismatch(self):
+        a = LocalCoo.empty((2, 3), np.dtype(np.float64))
+        b = LocalCoo.empty((4, 2), np.dtype(np.float64))
+        with pytest.raises(SparseFormatError):
+            spgemm_local(a, b, arithmetic_semiring())
+
+    def test_empty_operands(self):
+        a = LocalCoo.empty((2, 3), np.dtype(np.float64))
+        b = LocalCoo.empty((3, 2), np.dtype(np.float64))
+        C, flops = spgemm_local(a, b, arithmetic_semiring())
+        assert C.nnz == 0 and flops == 0
+
+    def test_exclude_diagonal(self):
+        eye = LocalCoo(
+            (3, 3), np.arange(3), np.arange(3), np.ones(3)
+        )
+        C, _ = spgemm_local(eye, eye, arithmetic_semiring(), exclude_diagonal=True)
+        assert C.nnz == 0
+
+    def test_count_semiring_counts_shared_keys(self):
+        # A: 2 reads x 3 kmers
+        A = LocalCoo(
+            (2, 3),
+            np.array([0, 0, 1, 1]),
+            np.array([0, 1, 1, 2]),
+            np.ones(4, dtype=np.int64),
+        )
+        C, _ = spgemm_local(A, A.transpose(), count_semiring(), exclude_diagonal=True)
+        dense = np.zeros((2, 2), dtype=np.int64)
+        dense[C.rows, C.cols] = C.vals
+        assert dense[0, 1] == 1 and dense[1, 0] == 1
+
+    def test_flops_counts_expanded_products(self):
+        A = LocalCoo(
+            (2, 1), np.array([0, 1]), np.array([0, 0]), np.ones(2)
+        )
+        _, flops = spgemm_local(A, A.transpose(), arithmetic_semiring())
+        assert flops == 4  # 2 entries share the single contraction key
+
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(1, 12),
+        k=st.integers(1, 12),
+        m=st.integers(1, 12),
+        density=st.floats(0.05, 0.6),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_scipy(self, seed, n, k, m, density):
+        rng = np.random.default_rng(seed)
+        A = sp.random(n, k, density=density, random_state=rng, format="coo")
+        B = sp.random(k, m, density=density, random_state=rng, format="coo")
+        C, _ = spgemm_local(to_coo(A), to_coo(B), arithmetic_semiring())
+        ref = (A @ B).toarray()
+        got = np.zeros_like(ref)
+        if C.nnz:
+            got[C.rows, C.cols] = C.vals
+        assert np.allclose(got, ref)

@@ -1,0 +1,138 @@
+"""Unit tests for bidirected edge semantics and transitive reduction."""
+
+import numpy as np
+import pytest
+
+from repro.kmer import build_kmer_matrix, count_kmers
+from repro.overlap import AlignmentParams, build_overlap_graph, detect_overlaps
+from repro.seq import DistReadStore, GenomeSpec, make_genome, tile_reads
+from repro.strgraph import (
+    compose_direction,
+    dst_end_bit,
+    enters_forward,
+    exits_forward,
+    mirror_direction,
+    src_end_bit,
+    transitive_reduction,
+    walk_compatible,
+)
+
+
+class TestEdgeCodec:
+    def test_bits(self):
+        assert src_end_bit(0b10) == 1 and dst_end_bit(0b10) == 0
+        assert src_end_bit(0b01) == 0 and dst_end_bit(0b01) == 1
+
+    def test_bits_vectorized(self):
+        d = np.array([0, 1, 2, 3])
+        assert list(src_end_bit(d)) == [0, 0, 1, 1]
+        assert list(dst_end_bit(d)) == [0, 1, 0, 1]
+
+    def test_mirror_swaps_bits(self):
+        assert mirror_direction(0b10) == 0b01
+        assert mirror_direction(0b01) == 0b10
+        assert mirror_direction(0b00) == 0b00
+        assert mirror_direction(0b11) == 0b11
+
+    def test_mirror_involution_vectorized(self):
+        d = np.arange(4)
+        assert np.array_equal(mirror_direction(mirror_direction(d)), d)
+
+    def test_walk_compatibility_rule(self):
+        """Enter at one end, leave through the other (§2)."""
+        for d_in in range(4):
+            for d_out in range(4):
+                expected = dst_end_bit(d_in) != src_end_bit(d_out)
+                assert walk_compatible(d_in, d_out) == expected
+
+    def test_compose_direction(self):
+        # keep src bit of first edge, dst bit of second
+        assert compose_direction(0b10, 0b10) == 0b10
+        assert compose_direction(0b11, 0b00) == 0b10
+        assert compose_direction(0b01, 0b11) == 0b01
+
+    def test_traversal_helpers(self):
+        assert exits_forward(0b10) is True
+        assert exits_forward(0b01) is False
+        assert enters_forward(0b10) is True
+        assert enters_forward(0b11) is False
+
+
+def build_R(grid, stride, genome_len=2400, read_len=300, k=15, pattern="forward"):
+    genome = make_genome(GenomeSpec(length=genome_len, seed=31))
+    rs = tile_reads(genome, read_len, stride, pattern)
+    store = DistReadStore.from_global(grid, rs.reads)
+    table = count_kmers(store, k, reliable_lo=1)
+    A = build_kmer_matrix(store, table)
+    C = detect_overlaps(A)
+    R, _ = build_overlap_graph(C, store, AlignmentParams(k=k, end_margin=5))
+    return rs, store, R
+
+
+class TestTransitiveReduction:
+    def test_dense_tiling_reduces_to_chain(self, grid4):
+        """Stride 100 on 300bp reads: each read overlaps its 2 successors;
+        transitive reduction must keep only the adjacent edges."""
+        rs, store, R = build_R(grid4, stride=100)
+        result = transitive_reduction(R)
+        S = result.S
+        assert result.total_removed > 0
+        deg = S.row_reduce().to_global()
+        # a clean chain: all degree 2 except the two ends
+        active = deg[deg > 0]
+        assert (active == 1).sum() == 2
+        assert (active >= 3).sum() == 0
+
+    def test_keeps_adjacent_edges(self, grid4):
+        rs, store, R = build_R(grid4, stride=100)
+        S = transitive_reduction(R).S
+        rows, cols, _ = S.to_global_coo()
+        pairs = set(zip(rows.tolist(), cols.tolist()))
+        n = store.nreads
+        for i in range(n - 1):
+            assert (i, i + 1) in pairs
+
+    def test_sparse_tiling_nothing_to_remove(self, grid4):
+        """Stride 200 on 300bp reads: only adjacent reads overlap, so the
+        graph is already reduced."""
+        rs, store, R = build_R(grid4, stride=200)
+        result = transitive_reduction(R)
+        assert result.total_removed == 0
+        assert result.S.nnz() == R.nnz()
+
+    def test_symmetry_preserved(self, grid4):
+        rs, store, R = build_R(grid4, stride=100)
+        S = transitive_reduction(R).S
+        rows, cols, _ = S.to_global_coo()
+        pairs = set(zip(rows.tolist(), cols.tolist()))
+        assert all((c, r) in pairs for r, c in pairs)
+
+    def test_alternate_strand_chain_reduces(self, grid4):
+        rs, store, R = build_R(grid4, stride=100, pattern="alternate")
+        S = transitive_reduction(R).S
+        deg = S.row_reduce().to_global()
+        active = deg[deg > 0]
+        assert (active == 1).sum() == 2
+        assert (active >= 3).sum() == 0
+
+    def test_fuzz_zero_still_reduces_exact_overlaps(self, grid4):
+        rs, store, R = build_R(grid4, stride=100)
+        S0 = transitive_reduction(R, fuzz=0).S
+        assert S0.nnz() < R.nnz()
+
+    def test_rounds_bounded(self, grid4):
+        rs, store, R = build_R(grid4, stride=100)
+        result = transitive_reduction(R, max_rounds=1)
+        assert result.rounds <= 1
+
+    def test_grid_invariance(self):
+        from repro.mpi import ProcGrid, SimWorld, zero_cost
+
+        patterns = []
+        for p in (1, 4, 9):
+            grid = ProcGrid(SimWorld(p, zero_cost()))
+            rs, store, R = build_R(grid, stride=100)
+            S = transitive_reduction(R).S
+            r, c, _ = S.to_global_coo()
+            patterns.append(set(zip(r.tolist(), c.tolist())))
+        assert patterns[0] == patterns[1] == patterns[2]

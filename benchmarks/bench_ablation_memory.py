@@ -16,19 +16,20 @@ verifies:
 import pytest
 
 from repro.bench import render_matrix
-from repro.pipeline import run_pipeline
+from repro.pipeline import Pipeline
 
 P_LIST = [4, 16]
 
 
 @pytest.fixture(scope="module")
 def mode_runs(c_elegans):
+    pipeline = Pipeline.default()
     out = {}
     for p in P_LIST:
         for mode in ("fast", "low"):
             cfg = c_elegans.config(p, "cori-haswell")
             cfg.memory_mode = mode
-            out[(p, mode)] = run_pipeline(c_elegans.readset, cfg)
+            out[(p, mode)] = pipeline.run(c_elegans.readset, cfg)
     return out
 
 
@@ -103,6 +104,8 @@ def test_bench_stream_spgemm(benchmark, c_elegans):
     cfg = c_elegans.config(4, "cori-haswell")
     cfg.memory_mode = "low"
     result = benchmark.pedantic(
-        lambda: run_pipeline(c_elegans.readset, cfg), rounds=1, iterations=1
+        lambda: Pipeline.default().run(c_elegans.readset, cfg),
+        rounds=1,
+        iterations=1,
     )
     assert result.contigs.count >= 1

@@ -146,9 +146,11 @@ def test_bench_pipeline_p4(benchmark, c_elegans):
     machine = MACHINE_PRESETS["cori-haswell"]().scaled(c_elegans.scale)
 
     def run():
-        from repro.pipeline import run_pipeline
+        from repro.pipeline import Pipeline
 
-        return run_pipeline(c_elegans.readset, c_elegans.config(4, machine))
+        return Pipeline.default().run(
+            c_elegans.readset, c_elegans.config(4, machine)
+        )
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)
     assert result.contigs.count > 0

@@ -104,11 +104,13 @@ def test_bench_fig6_full(benchmark, write_artifact, sweep):
 def test_bench_dp_alignment_pipeline(benchmark, h_sapiens):
     """One high-error (banded DP) run -- the slowest per-pair kernel."""
     from repro.mpi import MACHINE_PRESETS
-    from repro.pipeline import run_pipeline
+    from repro.pipeline import Pipeline
 
     machine = MACHINE_PRESETS["summit-cpu"]().scaled(h_sapiens.scale)
     result = benchmark.pedantic(
-        lambda: run_pipeline(h_sapiens.readset, h_sapiens.config(16, machine)),
+        lambda: Pipeline.default().run(
+            h_sapiens.readset, h_sapiens.config(16, machine)
+        ),
         rounds=1,
         iterations=1,
     )

@@ -11,7 +11,7 @@ Run:  python examples/custom_machine_model.py
 
 from repro.bench import build_bench_dataset
 from repro.mpi import MachineModel, cori_haswell
-from repro.pipeline import run_pipeline, scaling_table
+from repro.pipeline import Pipeline, scaling_table
 
 
 def cloud_hpc() -> MachineModel:
@@ -34,9 +34,10 @@ def main() -> None:
         "cloud-hpc": cloud_hpc().scaled(dataset.scale),
     }
 
+    pipeline = Pipeline.default()
     for name, machine in machines.items():
         results = [
-            run_pipeline(dataset.readset, dataset.config(p, machine))
+            pipeline.run(dataset.readset, dataset.config(p, machine))
             for p in (1, 16, 64)
         ]
         print(scaling_table(f"{dataset.name} / {name}", results))

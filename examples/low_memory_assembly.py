@@ -23,7 +23,7 @@ Run:  python examples/low_memory_assembly.py
 """
 
 from repro.bench import build_bench_dataset, sweep_pipeline
-from repro.pipeline import run_pipeline, scaling_table
+from repro.pipeline import Pipeline, scaling_table
 
 
 def main() -> None:
@@ -33,12 +33,13 @@ def main() -> None:
 
     # --- part 1: memory modes ------------------------------------------
     print("\n== memory reduction (fast vs low) ==")
+    pipeline = Pipeline.default()
     for p in (4, 16):
         rows = {}
         for mode in ("fast", "low"):
             cfg = ds.config(p, "cori-haswell")
             cfg.memory_mode = mode
-            rows[mode] = run_pipeline(ds.readset, cfg)
+            rows[mode] = pipeline.run(ds.readset, cfg)
         fast, low = rows["fast"], rows["low"]
         identical = sorted(
             c.sequence() for c in fast.contigs.contigs

@@ -7,7 +7,7 @@ matrices, with the paper's contig-generation algorithm -- branch masking,
 connected components, greedy multiway partitioning, induced-subgraph
 redistribution and local depth-first assembly -- as the core contribution.
 
-Quickstart::
+Quickstart (classic one-call driver)::
 
     from repro import PipelineConfig, run_pipeline
     from repro.seq import make_genome, GenomeSpec, sample_reads
@@ -16,10 +16,41 @@ Quickstart::
     reads = sample_reads(genome, depth=20, mean_length=600, rng=2)
     result = run_pipeline(reads, PipelineConfig(nprocs=4, k=21))
     print(result.contigs.count, "contigs,", result.contigs.longest(), "bp longest")
+
+Stage engine (partial runs, injection, checkpoint/resume, hooks)::
+
+    from repro import Pipeline, PipelineConfig, TraceObserver
+
+    pipe = Pipeline.default(observers=[TraceObserver()])
+    cfg = PipelineConfig(nprocs=4, k=21)
+
+    partial = pipe.run(reads, cfg, until="TrReduction")   # stop after S
+    S = partial.artifacts["S"]
+
+    again = pipe.run(reads, cfg, from_artifacts={"S": S}) # reuse S, only
+    print(again.stages_run)                               # ['ExtractContig']
+
+    # checkpoints: the second run recomputes nothing upstream of the
+    # changed contig-stage knob
+    pipe.run(reads, cfg, checkpoint_dir="ckpt")
+    cfg.partition_method = "greedy"
+    resumed = pipe.run(reads, cfg, checkpoint_dir="ckpt")
 """
 
 from .errors import ReproError
-from .pipeline import MAIN_STAGES, PipelineConfig, PipelineResult, run_pipeline
+from .pipeline import (
+    MAIN_STAGES,
+    CollectingObserver,
+    Pipeline,
+    PipelineConfig,
+    PipelineObserver,
+    PipelineResult,
+    RunContext,
+    Stage,
+    TraceObserver,
+    register_stage,
+    run_pipeline,
+)
 from .scaffold import (
     PolishConfig,
     ScaffoldConfig,
@@ -27,7 +58,7 @@ from .scaffold import (
     scaffold_contigs,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -36,6 +67,13 @@ __all__ = [
     "PipelineResult",
     "run_pipeline",
     "MAIN_STAGES",
+    "Pipeline",
+    "Stage",
+    "RunContext",
+    "PipelineObserver",
+    "TraceObserver",
+    "CollectingObserver",
+    "register_stage",
     "ScaffoldConfig",
     "scaffold_contigs",
     "PolishConfig",

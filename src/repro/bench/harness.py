@@ -20,7 +20,12 @@ import numpy as np
 
 from ..baselines import assemble_greedy_bog, assemble_serial_olc
 from ..mpi.costmodel import MACHINE_PRESETS, MachineModel
-from ..pipeline import PipelineConfig, PipelineResult, run_pipeline
+from ..pipeline import (
+    Pipeline,
+    PipelineConfig,
+    PipelineObserver,
+    PipelineResult,
+)
 from ..quality import QualityReport, evaluate_assembly
 from ..seq import PRESETS, ReadSet, build_dataset
 from ..seq.datasets import DatasetPreset
@@ -131,14 +136,23 @@ def sweep_pipeline(
     dataset: BenchDataset,
     machine_name: str,
     nprocs_list: list[int] | None = None,
+    observers: "list[PipelineObserver] | tuple" = (),
+    checkpoint_dir: str | None = None,
 ) -> list[PipelineResult]:
-    """Run the pipeline at every P with paper-volume extrapolation."""
+    """Run the pipeline at every P with paper-volume extrapolation.
+
+    ``observers`` are attached to the stage engine (progress/trace hooks);
+    ``checkpoint_dir`` lets repeated sweeps over the same dataset reuse
+    per-stage artifacts across processes (fingerprints include P, so each
+    grid size keeps its own checkpoints).
+    """
     nprocs_list = nprocs_list or SCALING_P
     machine = MACHINE_PRESETS[machine_name]().scaled(dataset.scale)
+    pipeline = Pipeline.default(observers=observers, checkpoint_dir=checkpoint_dir)
     results = []
     for p in nprocs_list:
         results.append(
-            run_pipeline(dataset.readset, dataset.config(p, machine))
+            pipeline.run(dataset.readset, dataset.config(p, machine))
         )
     return results
 
@@ -181,7 +195,7 @@ def run_baselines(dataset: BenchDataset, machine_name: str) -> BaselineRuns:
     )
     # modeled single-node time: total bases aligned ~ serial work measured
     # by running ELBA's own P=1 cost accounting
-    p1 = run_pipeline(dataset.readset, dataset.config(1, machine))
+    p1 = Pipeline.default().run(dataset.readset, dataset.config(1, machine))
     serial_modeled = p1.modeled_total
     # the bog baseline skips transitive reduction: subtract that stage
     bog_modeled = serial_modeled - p1.stage_seconds("TrReduction")

@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from ..bench.harness import build_bench_dataset
-from ..pipeline import PipelineConfig, run_pipeline
+from ..pipeline import MAIN_STAGES, Pipeline, TraceObserver
 from ..quality import evaluate_assembly
 from ..scaffold import (
     PolishConfig,
@@ -16,7 +17,13 @@ from ..scaffold import (
     scaffold_contigs,
 )
 from ..seq.fasta import read_fasta, write_fasta
-from .common import CliError, add_dataset_args, add_machine_arg, positive_int
+from .common import (
+    CliError,
+    add_dataset_args,
+    add_machine_arg,
+    add_pipeline_args,
+    build_pipeline_config,
+)
 
 __all__ = ["build_parser", "main"]
 
@@ -31,28 +38,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_dataset_args(parser)
     add_machine_arg(parser)
+    add_pipeline_args(parser)
     parser.add_argument(
-        "-P",
-        "--nprocs",
-        type=positive_int,
-        default=4,
-        help="simulated ranks (perfect square)",
-    )
-    parser.add_argument("-k", type=positive_int, default=None, help="k-mer length")
-    parser.add_argument(
-        "--xdrop", type=positive_int, default=None, help="x-drop threshold"
+        "--until", choices=MAIN_STAGES, default=None, metavar="STAGE",
+        help="stop the pipeline after this stage "
+             f"({', '.join(MAIN_STAGES)})",
     )
     parser.add_argument(
-        "--align-mode", choices=("diag", "dp"), default=None,
-        help="gapless (diag) or banded-DP alignment",
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="save stage checkpoints to DIR (reused on a later run)",
     )
     parser.add_argument(
-        "--memory-mode", choices=("fast", "low"), default="fast",
-        help="SpGEMM accumulation strategy (low = stream merge)",
+        "--resume-from", default=None, metavar="DIR",
+        help="resume from an existing checkpoint directory: stages whose "
+             "configuration is unchanged are loaded instead of recomputed",
     )
     parser.add_argument(
-        "--partition", choices=("lpt", "greedy", "round_robin"), default="lpt",
-        help="contig-to-processor partitioning algorithm",
+        "--trace", action="store_true",
+        help="print per-stage progress lines as the pipeline runs",
     )
     parser.add_argument(
         "--scaffold", action="store_true",
@@ -107,21 +110,27 @@ def _load_reads(args):
     return list(ds.readset.reads), ds
 
 
-def _make_config(args, ds) -> PipelineConfig:
-    kwargs = dict(ds.config_kwargs) if ds is not None else {}
-    cfg = PipelineConfig(
-        nprocs=args.nprocs,
-        machine=args.machine,
-        k=args.k or (ds.k if ds is not None else 31),
-        memory_mode=args.memory_mode,
-        partition_method=args.partition,
-        **kwargs,
+def _checkpoint_dir(args) -> str | None:
+    if args.resume_from is not None:
+        if not os.path.isdir(args.resume_from):
+            raise CliError(
+                f"--resume-from directory {args.resume_from!r} does not exist"
+            )
+        return args.resume_from
+    return args.checkpoint_dir
+
+
+def _print_timing(result, args, out, peak: bool) -> None:
+    line = (
+        f"modeled time on {args.machine} with P={args.nprocs}: "
+        f"{result.modeled_total:.4f}s"
     )
-    if args.xdrop is not None:
-        cfg.xdrop = args.xdrop
-    if args.align_mode is not None:
-        cfg.align_mode = args.align_mode
-    return cfg
+    if peak:
+        line += f"  (peak memory {result.peak_memory_bytes / 1e6:.2f} MB/rank)"
+    print(line, file=out)
+    if args.breakdown:
+        for stage, sec in result.main_stage_breakdown().items():
+            print(f"  {stage:<16}{sec:>12.4f}s", file=out)
 
 
 def main(argv: list[str] | None = None, out=None) -> int:
@@ -131,7 +140,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
     args = parser.parse_args(argv)
     try:
         reads, ds = _load_reads(args)
-        cfg = _make_config(args, ds)
+        cfg = build_pipeline_config(args, ds)
         if args.gfa or args.paf:
             cfg.keep_graphs = True
         cfg.validate()
@@ -147,7 +156,33 @@ def main(argv: list[str] | None = None, out=None) -> int:
                 f"{estimate_depth(spec):.0f}x",
                 file=out,
             )
-        result = run_pipeline(ds.readset if ds is not None else reads, cfg)
+        observers = [TraceObserver(out)] if args.trace else []
+        pipeline = Pipeline.default(observers=observers)
+        result = pipeline.run(
+            ds.readset if ds is not None else reads,
+            cfg,
+            until=args.until,
+            checkpoint_dir=_checkpoint_dir(args),
+        )
+
+        resumed = sum(1 for _, why in result.stages_skipped if why == "checkpoint")
+        if resumed:
+            print(
+                f"resumed {resumed} stage(s) from checkpoint; modeled time "
+                f"covers executed stages only",
+                file=out,
+            )
+
+        if result.contigs is None:
+            # partial run: report what was produced and stop
+            produced = sorted(k for k in result.artifacts if k != "reads")
+            print(
+                f"partial run stopped after {args.until}: "
+                f"artifacts {', '.join(produced)}",
+                file=out,
+            )
+            _print_timing(result, args, out, peak=False)
+            return 0
 
         contigs = list(result.contigs.contigs)
         if args.gfa:
@@ -191,15 +226,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
             f"({sum(lengths)} bases, longest {lengths[0] if lengths else 0})",
             file=out,
         )
-        print(
-            f"modeled time on {args.machine} with P={args.nprocs}: "
-            f"{result.modeled_total:.4f}s  "
-            f"(peak memory {result.peak_memory_bytes / 1e6:.2f} MB/rank)",
-            file=out,
-        )
-        if args.breakdown:
-            for stage, sec in result.main_stage_breakdown().items():
-                print(f"  {stage:<16}{sec:>12.4f}s", file=out)
+        _print_timing(result, args, out, peak=True)
         if args.quality:
             if ds is None:
                 raise CliError("--quality requires --preset (needs a reference)")

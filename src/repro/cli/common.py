@@ -5,9 +5,17 @@ from __future__ import annotations
 import argparse
 
 from ..mpi.costmodel import MACHINE_PRESETS
+from ..pipeline import PipelineConfig
 from ..seq.datasets import PRESETS
 
-__all__ = ["add_machine_arg", "add_dataset_args", "positive_int", "CliError"]
+__all__ = [
+    "add_machine_arg",
+    "add_dataset_args",
+    "add_pipeline_args",
+    "build_pipeline_config",
+    "positive_int",
+    "CliError",
+]
 
 
 class CliError(Exception):
@@ -53,3 +61,52 @@ def add_dataset_args(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="random seed for --preset generation",
     )
+
+
+def add_pipeline_args(parser: argparse.ArgumentParser) -> None:
+    """Pipeline knobs shared by every script that builds a config."""
+    parser.add_argument(
+        "-P",
+        "--nprocs",
+        type=positive_int,
+        default=4,
+        help="simulated ranks (perfect square)",
+    )
+    parser.add_argument("-k", type=positive_int, default=None, help="k-mer length")
+    parser.add_argument(
+        "--xdrop", type=positive_int, default=None, help="x-drop threshold"
+    )
+    parser.add_argument(
+        "--align-mode", choices=("diag", "dp"), default=None,
+        help="gapless (diag) or banded-DP alignment",
+    )
+    parser.add_argument(
+        "--memory-mode", choices=("fast", "low"), default="fast",
+        help="SpGEMM accumulation strategy (low = stream merge)",
+    )
+    parser.add_argument(
+        "--partition", choices=("lpt", "greedy", "round_robin"), default="lpt",
+        help="contig-to-processor partitioning algorithm",
+    )
+
+
+def build_pipeline_config(args, ds=None) -> PipelineConfig:
+    """The one place CLI arguments become a :class:`PipelineConfig`.
+
+    ``ds`` is an optional :class:`~repro.bench.harness.BenchDataset` whose
+    tuned parameters seed the config before explicit flags override them.
+    """
+    kwargs = dict(ds.config_kwargs) if ds is not None else {}
+    cfg = PipelineConfig(
+        nprocs=args.nprocs,
+        machine=args.machine,
+        k=args.k or (ds.k if ds is not None else 31),
+        memory_mode=args.memory_mode,
+        partition_method=args.partition,
+        **kwargs,
+    )
+    if args.xdrop is not None:
+        cfg.xdrop = args.xdrop
+    if args.align_mode is not None:
+        cfg.align_mode = args.align_mode
+    return cfg

@@ -1,7 +1,19 @@
-"""End-to-end pipeline: configuration, driver, and reporting."""
+"""End-to-end pipeline: the stage engine, configuration, and reporting."""
 
+from .checkpoint import CheckpointStore
 from .config import PipelineConfig
 from .elba import MAIN_STAGES, PipelineResult, run_pipeline
+from .engine import (
+    STAGE_REGISTRY,
+    CollectingObserver,
+    Pipeline,
+    PipelineObserver,
+    RunContext,
+    Stage,
+    StageTiming,
+    TraceObserver,
+    register_stage,
+)
 from .figures import ascii_line_chart, stacked_bar_chart
 from .report import ScalingPoint, breakdown_table, parallel_efficiency, scaling_table
 
@@ -10,6 +22,16 @@ __all__ = [
     "run_pipeline",
     "PipelineResult",
     "MAIN_STAGES",
+    "Pipeline",
+    "Stage",
+    "RunContext",
+    "StageTiming",
+    "PipelineObserver",
+    "TraceObserver",
+    "CollectingObserver",
+    "STAGE_REGISTRY",
+    "register_stage",
+    "CheckpointStore",
     "ScalingPoint",
     "scaling_table",
     "breakdown_table",

@@ -1,0 +1,283 @@
+"""Stage checkpointing and world-independent artifact serialization.
+
+A checkpoint stores one stage's artifacts in a *grid-free* form so a
+later run -- with its own fresh :class:`~repro.mpi.comm.SimWorld` and
+clocks -- can rehydrate them onto its own process grid.  Distributed
+matrices are stored as global COO triples, k-mer tables as their per-owner
+arrays, read stores as the global read list, contig sets as bare contig
+records.  Anything else is pickled as-is (it must not reference a grid).
+
+Checkpoints are keyed by a **fingerprint chain**: the SHA-256 of the run's
+base signature (nprocs + a digest of the read set) folded with each
+stage's name and its ``config_fields`` values, in pipeline order.  A stage's
+fingerprint therefore changes exactly when its own or any upstream stage's
+relevant configuration (or the input reads) changes -- editing
+``partition_method`` invalidates only ``ExtractContig``, never the
+expensive overlap stages.  The machine model is deliberately excluded:
+artifact *data* is machine-independent, only modeled time differs.
+
+The same pack/unpack codecs back artifact *injection*
+(``Pipeline.run(from_artifacts=...)``): an object produced under another
+run's grid is re-homed onto the current grid before stages consume it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ..core.assembly import Contig
+from ..core.contig import ContigSet
+from ..errors import PipelineError
+from ..kmer.counter import KmerTable
+from ..seq.readstore import DistReadStore
+from ..sparse.distmat import DistSparseMatrix
+from ..strgraph.transitive import TransitiveReductionResult
+from .config import PipelineConfig
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import RunContext, Stage
+
+__all__ = [
+    "CheckpointStore",
+    "base_fingerprint",
+    "pack_artifact",
+    "unpack_artifact",
+    "adopt_artifact",
+]
+
+CHECKPOINT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# fingerprints
+# ---------------------------------------------------------------------------
+
+
+def _digest(payload: dict) -> str:
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True, default=str).encode()
+    ).hexdigest()
+
+
+def reads_digest(store: DistReadStore) -> str:
+    """Content hash of the distributed read set."""
+    h = hashlib.sha256()
+    h.update(str(store.nreads).encode())
+    for shard in store.shards:
+        h.update(shard.buffer.tobytes())
+        h.update(shard.offsets.tobytes())
+    return h.hexdigest()
+
+
+def base_fingerprint(config: PipelineConfig, store: DistReadStore | None) -> str:
+    """Root of the fingerprint chain: run-wide, stage-independent inputs."""
+    return _digest(
+        {
+            "version": CHECKPOINT_VERSION,
+            "nprocs": config.nprocs,
+            "reads": reads_digest(store) if store is not None else None,
+        }
+    )
+
+
+# ---------------------------------------------------------------------------
+# artifact codecs
+# ---------------------------------------------------------------------------
+
+
+def _pack_matrix(m: DistSparseMatrix) -> dict:
+    rows, cols, vals = m.to_global_coo()
+    return {"shape": m.shape, "rows": rows, "cols": cols, "vals": vals}
+
+
+def _unpack_matrix(payload: dict, ctx: "RunContext") -> DistSparseMatrix:
+    return DistSparseMatrix.from_global_coo(
+        ctx.grid,
+        tuple(payload["shape"]),
+        payload["rows"],
+        payload["cols"],
+        payload["vals"],
+    )
+
+
+def pack_artifact(value: Any) -> tuple[str, Any]:
+    """Convert an artifact into a (tag, grid-free payload) pair."""
+    if isinstance(value, DistSparseMatrix):
+        return "distmat", _pack_matrix(value)
+    if isinstance(value, TransitiveReductionResult):
+        return "trresult", {
+            "S": _pack_matrix(value.S),
+            "rounds": value.rounds,
+            "removed_per_round": list(value.removed_per_round),
+        }
+    if isinstance(value, KmerTable):
+        return "kmertable", {
+            "k": value.k,
+            "kmers_by_owner": value.kmers_by_owner,
+            "counts_by_owner": value.counts_by_owner,
+            "offsets": value.offsets,
+        }
+    if isinstance(value, DistReadStore):
+        return "readstore", {
+            "reads": [codes for shard in value.shards for _, codes in shard]
+        }
+    if isinstance(value, ContigSet):
+        return "contigset", {
+            "contigs": [
+                {
+                    "codes": c.codes,
+                    "read_path": list(c.read_path),
+                    "orientations": list(c.orientations),
+                    "circular": c.circular,
+                    "truncated": c.truncated,
+                }
+                for c in value.contigs
+            ],
+            "cc_rounds": value.cc_rounds,
+        }
+    return "pickle", value
+
+
+def unpack_artifact(tag: str, payload: Any, ctx: "RunContext") -> Any:
+    """Rehydrate a packed artifact onto the current run's grid."""
+    if tag == "distmat":
+        return _unpack_matrix(payload, ctx)
+    if tag == "trresult":
+        return TransitiveReductionResult(
+            S=_unpack_matrix(payload["S"], ctx),
+            rounds=payload["rounds"],
+            removed_per_round=list(payload["removed_per_round"]),
+        )
+    if tag == "kmertable":
+        if len(payload["kmers_by_owner"]) != ctx.grid.nprocs:
+            raise PipelineError(
+                f"k-mer table was built for "
+                f"{len(payload['kmers_by_owner'])} ranks, current grid has "
+                f"{ctx.grid.nprocs}"
+            )
+        return KmerTable(
+            grid=ctx.grid,
+            k=payload["k"],
+            kmers_by_owner=payload["kmers_by_owner"],
+            counts_by_owner=payload["counts_by_owner"],
+            offsets=payload["offsets"],
+        )
+    if tag == "readstore":
+        return DistReadStore.from_global(ctx.grid, payload["reads"])
+    if tag == "contigset":
+        return ContigSet(
+            contigs=[
+                Contig(
+                    codes=np.asarray(c["codes"], dtype=np.uint8),
+                    read_path=list(c["read_path"]),
+                    orientations=list(c["orientations"]),
+                    circular=c["circular"],
+                    truncated=c["truncated"],
+                )
+                for c in payload["contigs"]
+            ],
+            cc_rounds=payload["cc_rounds"],
+        )
+    if tag == "pickle":
+        return payload
+    raise PipelineError(f"unknown artifact tag {tag!r}")
+
+
+def adopt_artifact(key: str, value: Any, ctx: "RunContext") -> Any:
+    """Re-home an injected artifact onto the current run's grid.
+
+    Objects already living on this run's grid (or grid-free objects) pass
+    through untouched; anything carrying a foreign grid goes through a
+    pack/unpack round trip so its operations charge this run's clocks.
+    """
+    foreign_grid = getattr(value, "grid", None)
+    if isinstance(value, TransitiveReductionResult):
+        foreign_grid = value.S.grid
+    if foreign_grid is None or foreign_grid is ctx.grid:
+        return value
+    tag, payload = pack_artifact(value)
+    if tag == "pickle":
+        return value
+    return unpack_artifact(tag, payload, ctx)
+
+
+# ---------------------------------------------------------------------------
+# the store
+# ---------------------------------------------------------------------------
+
+
+class CheckpointStore:
+    """One directory of per-stage checkpoint files."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    def chain(self, prev: str, stage: "Stage", config: PipelineConfig) -> str:
+        """Fold one stage into the fingerprint chain."""
+        return _digest(
+            {
+                "prev": prev,
+                "stage": stage.name,
+                "config": stage.config_signature(config),
+            }
+        )
+
+    def path(self, stage_name: str, fingerprint: str) -> Path:
+        return self.root / f"{stage_name}-{fingerprint[:20]}.ckpt"
+
+    def has(self, stage_name: str, fingerprint: str) -> bool:
+        return self.path(stage_name, fingerprint).exists()
+
+    def save(
+        self,
+        stage_name: str,
+        fingerprint: str,
+        stage: "Stage",
+        ctx: "RunContext",
+        counts_delta: dict,
+    ) -> Path:
+        """Serialize a just-executed stage's products and counter deltas."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        keys = stage.checkpoint_keys if stage.checkpoint_keys is not None else stage.produces
+        packed = {
+            key: pack_artifact(ctx.artifacts[key])
+            for key in keys
+            if key in ctx.artifacts
+        }
+        blob = {
+            "version": CHECKPOINT_VERSION,
+            "stage": stage_name,
+            "fingerprint": fingerprint,
+            "artifacts": packed,
+            "counts": counts_delta,
+        }
+        target = self.path(stage_name, fingerprint)
+        # per-process tmp name: concurrent writers of the same checkpoint
+        # must not truncate each other before the atomic replace
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        with os.fdopen(fd, "wb") as fh:
+            pickle.dump(blob, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, target)
+        return target
+
+    def load(self, stage: "Stage", fingerprint: str, ctx: "RunContext") -> None:
+        """Rehydrate a stage's artifacts and counters into the context."""
+        with open(self.path(stage.name, fingerprint), "rb") as fh:
+            blob = pickle.load(fh)
+        if blob.get("version") != CHECKPOINT_VERSION:
+            raise PipelineError(
+                f"checkpoint version mismatch for {stage.name}: "
+                f"{blob.get('version')} != {CHECKPOINT_VERSION}"
+            )
+        for key, (tag, payload) in blob["artifacts"].items():
+            ctx.artifacts[key] = unpack_artifact(tag, payload, ctx)
+        ctx.counts.update(blob["counts"])
+        stage.after_load(ctx)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from ..errors import PipelineError
@@ -74,8 +75,6 @@ class PipelineConfig:
     def validate(self) -> None:
         if self.nprocs < 1:
             raise PipelineError(f"nprocs must be >= 1, got {self.nprocs}")
-        import math
-
         if math.isqrt(self.nprocs) ** 2 != self.nprocs:
             raise PipelineError(
                 f"nprocs must be a perfect square for the 2D grid, "
@@ -83,6 +82,19 @@ class PipelineConfig:
             )
         if not 1 <= self.k <= 31:
             raise PipelineError(f"k must be in [1, 31], got {self.k}")
+        if self.reliable_hi is not None and self.reliable_hi < self.reliable_lo:
+            raise PipelineError(
+                f"reliable_hi ({self.reliable_hi}) must be >= reliable_lo "
+                f"({self.reliable_lo})"
+            )
+        if self.min_shared_kmers < 1:
+            raise PipelineError(
+                f"min_shared_kmers must be >= 1, got {self.min_shared_kmers}"
+            )
+        if self.xdrop < 0:
+            raise PipelineError(f"xdrop must be >= 0, got {self.xdrop}")
+        if self.tr_fuzz < 0:
+            raise PipelineError(f"tr_fuzz must be >= 0, got {self.tr_fuzz}")
         if self.align_mode not in ("diag", "dp"):
             raise PipelineError(f"unknown align_mode {self.align_mode!r}")
         if self.partition_method not in ("lpt", "greedy", "round_robin"):

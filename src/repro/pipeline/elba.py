@@ -1,4 +1,4 @@
-"""The end-to-end ELBA pipeline (Algorithm 1).
+"""The end-to-end ELBA pipeline (Algorithm 1) -- compatibility driver.
 
 ``run_pipeline`` executes every stage of the paper's Fig. 1 over the
 simulated P-rank machine, charging modeled time per stage:
@@ -9,181 +9,49 @@ simulated P-rank machine, charging modeled time per stage:
 4. ``TrReduction``    bidirected transitive reduction -> S
 5. ``ExtractContig``  Algorithm 2 (this paper's contribution)
 
-Returns a :class:`PipelineResult` carrying the contig set, per-stage
-modeled/wall times and communication statistics -- everything the
-figure/table benchmarks consume.
+Since the stage-engine redesign this module is a thin wrapper over
+:class:`~repro.pipeline.engine.Pipeline`: ``run_pipeline(reads, config)``
+builds the default five-stage pipeline and runs it end to end, returning
+the same :class:`PipelineResult` (contig set, per-stage modeled/wall
+times, communication statistics) the figure/table benchmarks consume.
+Partial runs, artifact injection, checkpoint/resume and observer hooks
+are available both here (as keyword arguments) and on the engine itself.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+from typing import Any, Sequence
 
-import numpy as np
-
-from ..core.contig import STAGE_PREFIX, ContigSet, contig_generation
-from ..kmer.counter import count_kmers
-from ..kmer.kmermatrix import build_kmer_matrix
-from ..mpi.comm import SimWorld
-from ..mpi.grid import ProcGrid
-from ..mpi.stats import TimingReport
-from ..overlap.detect import detect_overlaps
-from ..overlap.filter import AlignmentParams, AlignmentStats, build_overlap_graph
-from ..seq.readstore import DistReadStore
-from ..seq.simulate import ReadSet
-from ..sparse.distmat import DistSparseMatrix
-from ..strgraph.transitive import transitive_reduction
 from .config import PipelineConfig
+from .engine import (
+    MAIN_STAGES,
+    Pipeline,
+    PipelineObserver,
+    PipelineResult,
+)
 
 __all__ = ["PipelineResult", "run_pipeline", "MAIN_STAGES"]
 
-#: Stage names in pipeline order, matching the paper's Fig. 5 legend.
-MAIN_STAGES = [
-    "CountKmer",
-    "DetectOverlap",
-    "Alignment",
-    "TrReduction",
-    "ExtractContig",
-]
-
-
-@dataclass
-class PipelineResult:
-    """Everything a run produces."""
-
-    contigs: ContigSet
-    config: PipelineConfig
-    world: SimWorld
-    report: TimingReport
-    align_stats: AlignmentStats | None = None
-    counts: dict = field(default_factory=dict)
-    #: intermediate matrices, retained when ``config.keep_graphs`` is set
-    R: "DistSparseMatrix | None" = None
-    S: "DistSparseMatrix | None" = None
-    reads: DistReadStore | None = None
-
-    def stage_seconds(self, stage: str) -> float:
-        """Modeled seconds of a main stage (substages aggregated)."""
-        total = 0.0
-        for name, sec in self.report.stage_seconds.items():
-            if name == stage or name.startswith(stage + "/"):
-                total += sec
-        return total
-
-    def main_stage_breakdown(self) -> dict[str, float]:
-        return {s: self.stage_seconds(s) for s in MAIN_STAGES}
-
-    def contig_substage_breakdown(self) -> dict[str, float]:
-        """Modeled seconds of each ExtractContig substage."""
-        out = {}
-        for name, sec in self.report.stage_seconds.items():
-            if name.startswith(STAGE_PREFIX + "/"):
-                out[name.split("/", 1)[1]] = sec
-        return out
-
-    @property
-    def peak_memory_bytes(self) -> float:
-        """Modeled per-rank peak working set of the run's SpGEMM kernels."""
-        return float(self.counts.get("peak_memory_bytes", 0.0))
-
-    @property
-    def modeled_total(self) -> float:
-        return sum(self.main_stage_breakdown().values())
-
 
 def run_pipeline(
-    reads: ReadSet | list[np.ndarray] | DistReadStore,
+    reads,
     config: PipelineConfig | None = None,
+    *,
+    until: str | None = None,
+    from_artifacts: dict[str, Any] | None = None,
+    checkpoint_dir: str | None = None,
+    observers: Sequence[PipelineObserver] = (),
 ) -> PipelineResult:
-    """Run the full assembly pipeline on a read collection."""
-    config = config or PipelineConfig()
-    config.validate()
-    machine = config.resolve_machine()
-    t0 = time.perf_counter()
+    """Run the full assembly pipeline on a read collection.
 
-    if isinstance(reads, DistReadStore):
-        store = reads
-        world = store.grid.world
-        grid = store.grid
-    else:
-        world = SimWorld(config.nprocs, machine)
-        grid = ProcGrid(world)
-        read_list = reads.reads if isinstance(reads, ReadSet) else reads
-        store = DistReadStore.from_global(grid, read_list)
-
-    counts: dict = {"reads": store.nreads, "bases": store.total_bases()}
-
-    with world.stage_scope("CountKmer"):
-        table = count_kmers(
-            store,
-            config.k,
-            reliable_lo=config.reliable_lo,
-            reliable_hi=config.reliable_hi,
-        )
-        counts["reliable_kmers"] = table.total
-
-    with world.stage_scope("DetectOverlap"):
-        A = build_kmer_matrix(store, table)
-        counts["A_nnz"] = A.nnz()
-        C = detect_overlaps(
-            A,
-            min_shared=config.min_shared_kmers,
-            merge_mode=config.merge_mode,
-        )
-        counts["C_nnz"] = C.nnz()
-
-    with world.stage_scope("Alignment"):
-        params = AlignmentParams(
-            k=config.k,
-            xdrop=config.xdrop,
-            mode=config.align_mode,
-            min_score=config.min_score,
-            min_overlap=config.min_overlap,
-            end_margin=config.end_margin,
-        )
-        R, align_stats = build_overlap_graph(C, store, params)
-        counts["R_nnz"] = R.nnz()
-
-    with world.stage_scope("TrReduction"):
-        tr = transitive_reduction(
-            R,
-            fuzz=config.tr_fuzz,
-            max_rounds=config.tr_max_rounds,
-            merge_mode=config.merge_mode,
-        )
-        counts["S_nnz"] = tr.S.nnz()
-        counts["tr_rounds"] = tr.rounds
-        counts["tr_removed"] = tr.total_removed
-
-    contigs = contig_generation(
-        tr.S,
-        store,
-        min_contig_reads=config.min_contig_reads,
-        partition_method=config.partition_method,
-        emit_cycles=config.emit_cycles,
-        count_limit=config.count_limit,
-        polish=config.polish,
+    Source-compatible with the pre-engine monolithic driver; the keyword
+    arguments expose the engine's partial-run, injection, checkpoint and
+    observer features (see :meth:`repro.pipeline.Pipeline.run`).
+    """
+    return Pipeline.default(observers=observers).run(
+        reads,
+        config,
+        until=until,
+        from_artifacts=from_artifacts,
+        checkpoint_dir=checkpoint_dir,
     )
-    counts["contigs"] = contigs.count
-    counts["peak_memory_bytes"] = world.memory.peak_overall()
-
-    wall = time.perf_counter() - t0
-    report = TimingReport.from_clock(
-        world.clock,
-        machine.name,
-        comm_bytes=world.log.total_bytes(),
-        wall_seconds=wall,
-    )
-    result = PipelineResult(
-        contigs=contigs,
-        config=config,
-        world=world,
-        report=report,
-        align_stats=align_stats,
-        counts=counts,
-    )
-    if config.keep_graphs:
-        result.R = R
-        result.S = tr.S
-        result.reads = store
-    return result

@@ -1,0 +1,572 @@
+"""Composable stage-based pipeline engine.
+
+The ELBA pipeline (Algorithm 1) is modeled as a sequence of
+:class:`Stage` objects wired together through named *artifacts* -- the
+distributed data structures each phase produces ("kmer_table", "C", "R",
+"S", "contigs", ...).  A :class:`Pipeline` owns an ordered stage list and
+executes it over a :class:`RunContext` that carries the simulated world,
+the configuration, and the artifact store.
+
+The engine supports three execution modes beyond the classic end-to-end
+run:
+
+* **partial runs** -- ``pipeline.run(reads, cfg, until="TrReduction")``
+  stops after the named stage and exposes its artifacts on the result;
+* **artifact injection** -- ``pipeline.run(reads, cfg,
+  from_artifacts={"C": C})`` skips every stage whose (demanded) products
+  are already present, re-homing injected distributed objects onto the
+  run's own process grid;
+* **checkpoint/resume** -- with a ``checkpoint_dir``, each executed
+  stage serializes its artifacts keyed by a fingerprint of the stage's
+  configuration chain; a later run reloads every stage whose fingerprint
+  still matches and recomputes only what changed (an ablation sweep over
+  contig-stage knobs never re-runs CountKmer/DetectOverlap/Alignment).
+
+Observers receive ``on_stage_start`` / ``on_stage_end`` /
+``on_stage_skip`` callbacks, which is how the CLI trace output and the
+bench harness watch a run without touching stage internals.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence, TextIO
+
+from ..core.contig import STAGE_PREFIX, ContigSet
+from ..errors import PipelineError
+from ..mpi.comm import SimWorld
+from ..mpi.costmodel import MachineModel
+from ..mpi.grid import ProcGrid
+from ..mpi.stats import TimingReport
+from ..overlap.filter import AlignmentStats
+from ..seq.readstore import DistReadStore
+from ..seq.simulate import ReadSet
+from .config import PipelineConfig
+
+__all__ = [
+    "MAIN_STAGES",
+    "Stage",
+    "RunContext",
+    "StageTiming",
+    "PipelineObserver",
+    "TraceObserver",
+    "CollectingObserver",
+    "Pipeline",
+    "PipelineResult",
+    "STAGE_REGISTRY",
+    "register_stage",
+]
+
+#: Stage names in pipeline order, matching the paper's Fig. 5 legend.
+MAIN_STAGES = [
+    "CountKmer",
+    "DetectOverlap",
+    "Alignment",
+    "TrReduction",
+    "ExtractContig",
+]
+
+
+# ---------------------------------------------------------------------------
+# stage protocol and registry
+# ---------------------------------------------------------------------------
+
+
+class Stage:
+    """One pipeline phase: consumes and produces named artifacts.
+
+    Subclasses set the class attributes and implement :meth:`run`, which
+    reads its inputs from ``ctx.artifacts`` (via :meth:`RunContext.require`)
+    and publishes its outputs (via :meth:`RunContext.publish`).  The engine
+    wraps every ``run`` in ``world.stage_scope(self.name)`` so modeled time
+    is attributed exactly as the monolithic driver attributed it.
+
+    ``config_fields`` lists the :class:`PipelineConfig` attributes the
+    stage's *output data* depends on; they feed the checkpoint fingerprint,
+    so changing a field invalidates this stage's checkpoints (and every
+    downstream stage's) while leaving upstream checkpoints reusable.
+    """
+
+    name: str = ""
+    requires: tuple[str, ...] = ()
+    produces: tuple[str, ...] = ()
+    config_fields: tuple[str, ...] = ()
+    #: subset of ``produces`` worth serializing to a checkpoint; ``None``
+    #: means all of them.  Stages whose products alias each other (e.g. a
+    #: result object and one of its attributes) checkpoint the canonical
+    #: one and rebuild the rest in :meth:`after_load`.
+    checkpoint_keys: tuple[str, ...] | None = None
+
+    def run(self, ctx: "RunContext") -> None:
+        raise NotImplementedError
+
+    def after_load(self, ctx: "RunContext") -> None:
+        """Republish derived artifacts after a checkpoint load."""
+
+    def config_signature(self, config: PipelineConfig) -> dict:
+        """The config subset this stage's artifacts depend on."""
+        return {f: getattr(config, f) for f in self.config_fields}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Stage {self.name}>"
+
+
+#: Registered stage classes by name (the five paper stages plus extensions).
+STAGE_REGISTRY: dict[str, type[Stage]] = {}
+
+
+def register_stage(cls: type[Stage]) -> type[Stage]:
+    """Class decorator adding a :class:`Stage` subclass to the registry."""
+    if not cls.name:
+        raise PipelineError(f"stage class {cls.__name__} has no name")
+    STAGE_REGISTRY[cls.name] = cls
+    return cls
+
+
+def _resolve_stage(spec: "Stage | str | type[Stage]") -> Stage:
+    if isinstance(spec, Stage):
+        return spec
+    if isinstance(spec, type) and issubclass(spec, Stage):
+        return spec()
+    try:
+        return STAGE_REGISTRY[spec]()
+    except KeyError:
+        raise PipelineError(
+            f"unknown stage {spec!r}; registered: {sorted(STAGE_REGISTRY)}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# run context
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RunContext:
+    """Everything a stage can see: world, config, artifacts, counters."""
+
+    config: PipelineConfig
+    machine: MachineModel
+    world: SimWorld
+    grid: ProcGrid
+    store: DistReadStore | None
+    artifacts: dict[str, Any] = field(default_factory=dict)
+    counts: dict = field(default_factory=dict)
+
+    def require(self, key: str) -> Any:
+        try:
+            return self.artifacts[key]
+        except KeyError:
+            raise PipelineError(
+                f"missing artifact {key!r}; available: {sorted(self.artifacts)}"
+            ) from None
+
+    def publish(self, key: str, value: Any) -> None:
+        self.artifacts[key] = value
+
+
+# ---------------------------------------------------------------------------
+# observers
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StageTiming:
+    """Per-stage timing handed to ``on_stage_end``."""
+
+    stage: str
+    modeled_seconds: float
+    wall_seconds: float
+
+
+class PipelineObserver:
+    """Base observer: subclass and override any subset of the hooks."""
+
+    def on_stage_start(self, stage: str, ctx: RunContext) -> None:
+        pass
+
+    def on_stage_end(self, stage: str, ctx: RunContext, timing: StageTiming) -> None:
+        pass
+
+    def on_stage_skip(self, stage: str, ctx: RunContext, reason: str) -> None:
+        pass
+
+
+class TraceObserver(PipelineObserver):
+    """Prints a progress line per stage (the CLI's ``--trace`` output)."""
+
+    def __init__(self, out: TextIO | None = None) -> None:
+        import sys
+
+        self.out = out if out is not None else sys.stderr
+
+    def on_stage_start(self, stage: str, ctx: RunContext) -> None:
+        print(f"[pipeline] {stage} ...", file=self.out, flush=True)
+
+    def on_stage_end(self, stage: str, ctx: RunContext, timing: StageTiming) -> None:
+        print(
+            f"[pipeline] {stage} done  "
+            f"modeled {timing.modeled_seconds:.4f}s  "
+            f"wall {timing.wall_seconds:.3f}s",
+            file=self.out,
+            flush=True,
+        )
+
+    def on_stage_skip(self, stage: str, ctx: RunContext, reason: str) -> None:
+        print(f"[pipeline] {stage} skipped ({reason})", file=self.out, flush=True)
+
+
+class CollectingObserver(PipelineObserver):
+    """Records every hook call -- used by the bench harness and tests."""
+
+    def __init__(self) -> None:
+        self.events: list[tuple[str, str]] = []  # (kind, stage)
+        self.timings: dict[str, StageTiming] = {}
+        self.skips: dict[str, str] = {}
+
+    def on_stage_start(self, stage: str, ctx: RunContext) -> None:
+        self.events.append(("start", stage))
+
+    def on_stage_end(self, stage: str, ctx: RunContext, timing: StageTiming) -> None:
+        self.events.append(("end", stage))
+        self.timings[stage] = timing
+
+    def on_stage_skip(self, stage: str, ctx: RunContext, reason: str) -> None:
+        self.events.append(("skip", stage))
+        self.skips[stage] = reason
+
+
+# ---------------------------------------------------------------------------
+# result
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PipelineResult:
+    """Everything a run produces.
+
+    ``contigs`` is ``None`` for partial runs that stop before
+    ``ExtractContig``; the stage outputs of such runs live in
+    ``artifacts``.  ``stages_run`` / ``stages_skipped`` record what the
+    engine actually executed (skip reasons: ``"artifact"`` for injected or
+    undemanded products, ``"checkpoint"`` for resumed stages).
+    """
+
+    contigs: ContigSet | None = None
+    config: PipelineConfig | None = None
+    world: SimWorld | None = None
+    report: TimingReport | None = None
+    align_stats: AlignmentStats | None = None
+    counts: dict = field(default_factory=dict)
+    #: intermediate matrices, retained when ``config.keep_graphs`` is set
+    R: Any = None
+    S: Any = None
+    reads: DistReadStore | None = None
+    artifacts: dict[str, Any] = field(default_factory=dict)
+    stages_run: list[str] = field(default_factory=list)
+    stages_skipped: list[tuple[str, str]] = field(default_factory=list)
+
+    def stage_seconds(self, stage: str) -> float:
+        """Modeled seconds of a main stage (substages aggregated).
+
+        Matches the exact stage name plus ``"<stage>/..."`` substages only;
+        an unrelated stage that merely shares the name as a string prefix
+        (e.g. ``AlignmentExtra`` vs ``Alignment``) is never absorbed.
+        """
+        total = 0.0
+        for name, sec in self.report.stage_seconds.items():
+            if name == stage or name.startswith(stage + "/"):
+                total += sec
+        return total
+
+    def main_stage_breakdown(self) -> dict[str, float]:
+        return {s: self.stage_seconds(s) for s in MAIN_STAGES}
+
+    def contig_substage_breakdown(self) -> dict[str, float]:
+        """Modeled seconds of each ExtractContig substage."""
+        out = {}
+        for name, sec in self.report.stage_seconds.items():
+            if name.startswith(STAGE_PREFIX + "/"):
+                out[name.split("/", 1)[1]] = sec
+        return out
+
+    @property
+    def peak_memory_bytes(self) -> float:
+        """Modeled per-rank peak working set of the run's SpGEMM kernels."""
+        return float(self.counts.get("peak_memory_bytes", 0.0))
+
+    @property
+    def modeled_total(self) -> float:
+        return sum(self.main_stage_breakdown().values())
+
+
+# ---------------------------------------------------------------------------
+# the engine
+# ---------------------------------------------------------------------------
+
+
+def _modeled_seconds(world: SimWorld, stage: str) -> float:
+    """Current modeled makespan charged to ``stage`` (substages included)."""
+    return sum(
+        world.clock.stage_seconds(s)
+        for s in world.clock.stages()
+        if s == stage or s.startswith(stage + "/")
+    )
+
+
+class Pipeline:
+    """An ordered stage list plus the machinery to run (parts of) it."""
+
+    def __init__(
+        self,
+        stages: Sequence[Stage | str | type[Stage]] | None = None,
+        observers: Sequence[PipelineObserver] = (),
+        checkpoint_dir: str | None = None,
+    ) -> None:
+        from . import stages as _stages  # noqa: F401  (registers stages)
+
+        if stages is None:
+            stages = list(MAIN_STAGES)
+        self.stages: list[Stage] = [_resolve_stage(s) for s in stages]
+        names = [s.name for s in self.stages]
+        if len(set(names)) != len(names):
+            raise PipelineError(f"duplicate stage names: {names}")
+        self.observers: list[PipelineObserver] = list(observers)
+        self.checkpoint_dir = checkpoint_dir
+
+    # -- construction helpers -------------------------------------------
+    @classmethod
+    def default(
+        cls,
+        scaffold: bool = False,
+        polish: bool = False,
+        observers: Sequence[PipelineObserver] = (),
+        checkpoint_dir: str | None = None,
+    ) -> "Pipeline":
+        """The five paper stages, optionally extended with §7 phases."""
+        from . import stages as _stages  # noqa: F401  (registers stages)
+
+        names = list(MAIN_STAGES)
+        if scaffold:
+            names.append("Scaffold")
+        if polish:
+            names.append("Polish")
+        return cls(names, observers=observers, checkpoint_dir=checkpoint_dir)
+
+    @property
+    def stage_names(self) -> list[str]:
+        return [s.name for s in self.stages]
+
+    def add_observer(self, observer: PipelineObserver) -> None:
+        self.observers.append(observer)
+
+    # -- hook dispatch ---------------------------------------------------
+    def _notify(self, hook: str, *args) -> None:
+        for obs in self.observers:
+            getattr(obs, hook)(*args)
+
+    # -- planning --------------------------------------------------------
+    def _slice(self, until: str | None) -> list[Stage]:
+        if until is None:
+            return list(self.stages)
+        names = self.stage_names
+        if until not in names:
+            raise PipelineError(
+                f"unknown stage {until!r} for until=; stages: {names}"
+            )
+        return self.stages[: names.index(until) + 1]
+
+    @staticmethod
+    def _plan(stages: list[Stage], artifacts: dict[str, Any]) -> list[Stage]:
+        """Demand-driven stage selection.
+
+        A stage executes only when some product of it is demanded (by a
+        later selected stage, or because the stage is terminal in the
+        slice) and not already present among the artifacts.
+        """
+        # products demanded by later stages, per position
+        later_requires: set[str] = set()
+        terminal_needs: set[str] = set()
+        demanded_after: list[set[str]] = [set()] * len(stages)
+        for i in range(len(stages) - 1, -1, -1):
+            demanded_after[i] = set(later_requires)
+            later_requires |= set(stages[i].requires)
+        for i, st in enumerate(stages):
+            if not (set(st.produces) & demanded_after[i]):
+                terminal_needs |= set(st.produces)
+
+        needed = set(terminal_needs)
+        selected: list[Stage] = []
+        for i in range(len(stages) - 1, -1, -1):
+            st = stages[i]
+            missing = [
+                k for k in st.produces if k in needed and k not in artifacts
+            ]
+            if missing:
+                selected.append(st)
+                needed |= set(st.requires)
+        selected.reverse()
+        return selected
+
+    # -- context construction -------------------------------------------
+    @staticmethod
+    def _build_context(
+        reads, config: PipelineConfig, machine: MachineModel
+    ) -> RunContext:
+        if isinstance(reads, DistReadStore):
+            store = reads
+            world = store.grid.world
+            grid = store.grid
+        elif reads is not None:
+            world = SimWorld(config.nprocs, machine)
+            grid = ProcGrid(world)
+            read_list = reads.reads if isinstance(reads, ReadSet) else reads
+            store = DistReadStore.from_global(grid, read_list)
+        else:
+            world = SimWorld(config.nprocs, machine)
+            grid = ProcGrid(world)
+            store = None
+        ctx = RunContext(
+            config=config, machine=machine, world=world, grid=grid, store=store
+        )
+        if store is not None:
+            ctx.artifacts["reads"] = store
+            ctx.counts["reads"] = store.nreads
+            ctx.counts["bases"] = store.total_bases()
+        return ctx
+
+    # -- execution -------------------------------------------------------
+    def run(
+        self,
+        reads=None,
+        config: PipelineConfig | None = None,
+        *,
+        until: str | None = None,
+        from_artifacts: dict[str, Any] | None = None,
+        checkpoint_dir: str | None = None,
+        keep_artifacts: bool | None = None,
+    ) -> PipelineResult:
+        """Execute the pipeline (or the demanded part of it).
+
+        Parameters
+        ----------
+        reads:
+            A :class:`ReadSet`, list of code arrays, or prebuilt
+            :class:`DistReadStore`.  May be omitted when ``from_artifacts``
+            supplies everything the selected stages require.
+        until:
+            Stop after this stage (inclusive); later stages are reported
+            to observers as skipped.
+        from_artifacts:
+            Precomputed artifacts to inject (e.g. an overlap matrix from a
+            previous ``keep_artifacts`` run).  Distributed objects are
+            re-homed onto this run's grid so modeled time is charged to
+            this run's clocks.  Checkpointing is disabled for such runs --
+            injected data has no config-derived provenance to fingerprint.
+        checkpoint_dir:
+            Directory for stage checkpoints (created on demand); overrides
+            the pipeline-level directory for this run.
+        keep_artifacts:
+            Attach the artifact store to the result.  Defaults to on for
+            partial/injected runs and ``config.keep_graphs`` runs.
+        """
+        config = config or PipelineConfig()
+        config.validate()
+        machine = config.resolve_machine()
+        t0 = time.perf_counter()
+
+        ctx = self._build_context(reads, config, machine)
+        if reads is None and not from_artifacts:
+            raise PipelineError("pipeline needs reads or from_artifacts")
+        injected = bool(from_artifacts)
+        if injected:
+            from .checkpoint import adopt_artifact
+
+            for key, value in from_artifacts.items():
+                ctx.artifacts[key] = adopt_artifact(key, value, ctx)
+
+        ckpt_root = checkpoint_dir or self.checkpoint_dir
+        ckpt = None
+        if ckpt_root is not None and not injected:
+            from .checkpoint import CheckpointStore
+
+            ckpt = CheckpointStore(ckpt_root)
+
+        stage_slice = self._slice(until)
+        selected = self._plan(stage_slice, ctx.artifacts)
+        selected_names = {s.name for s in selected}
+
+        result = PipelineResult(config=config, world=ctx.world, counts=ctx.counts)
+
+        fingerprint = None
+        if ckpt is not None:
+            from .checkpoint import base_fingerprint
+
+            fingerprint = base_fingerprint(config, ctx.store)
+
+        for stage in stage_slice:
+            if stage.name not in selected_names:
+                result.stages_skipped.append((stage.name, "artifact"))
+                self._notify("on_stage_skip", stage.name, ctx, "artifact")
+                continue
+            if ckpt is not None:
+                fingerprint = ckpt.chain(fingerprint, stage, config)
+                if ckpt.has(stage.name, fingerprint):
+                    ckpt.load(stage, fingerprint, ctx)
+                    result.stages_skipped.append((stage.name, "checkpoint"))
+                    self._notify("on_stage_skip", stage.name, ctx, "checkpoint")
+                    continue
+            missing = [k for k in stage.requires if k not in ctx.artifacts]
+            if missing:
+                raise PipelineError(
+                    f"stage {stage.name} requires missing artifact(s) "
+                    f"{missing}; inject them via from_artifacts or include "
+                    f"the producing stage"
+                )
+            self._notify("on_stage_start", stage.name, ctx)
+            modeled0 = _modeled_seconds(ctx.world, stage.name)
+            wall0 = time.perf_counter()
+            with ctx.world.stage_scope(stage.name):
+                counts_before = dict(ctx.counts)
+                stage.run(ctx)
+            timing = StageTiming(
+                stage=stage.name,
+                modeled_seconds=_modeled_seconds(ctx.world, stage.name) - modeled0,
+                wall_seconds=time.perf_counter() - wall0,
+            )
+            result.stages_run.append(stage.name)
+            self._notify("on_stage_end", stage.name, ctx, timing)
+            if ckpt is not None:
+                counts_delta = {
+                    k: v
+                    for k, v in ctx.counts.items()
+                    if k not in counts_before or counts_before[k] != v
+                }
+                ckpt.save(stage.name, fingerprint, stage, ctx, counts_delta)
+
+        # stages beyond `until` are reported as skipped, not silently dropped
+        for stage in self.stages[len(stage_slice):]:
+            result.stages_skipped.append((stage.name, "until"))
+            self._notify("on_stage_skip", stage.name, ctx, "until")
+
+        ctx.counts["peak_memory_bytes"] = ctx.world.memory.peak_overall()
+        wall = time.perf_counter() - t0
+        result.report = TimingReport.from_clock(
+            ctx.world.clock,
+            machine.name,
+            comm_bytes=ctx.world.log.total_bytes(),
+            wall_seconds=wall,
+        )
+        result.contigs = ctx.artifacts.get("contigs")
+        result.align_stats = ctx.artifacts.get("align_stats")
+        partial = until is not None or injected or result.contigs is None
+        if keep_artifacts is None:
+            keep_artifacts = partial or config.keep_graphs
+        if keep_artifacts:
+            result.artifacts = ctx.artifacts
+        if config.keep_graphs:
+            result.R = ctx.artifacts.get("R")
+            result.S = ctx.artifacts.get("S")
+            result.reads = ctx.store
+        return result

@@ -1,0 +1,227 @@
+"""The registered pipeline stages (Algorithm 1, plus §7 extensions).
+
+Each class wraps one phase of the paper's Fig. 1 as a :class:`Stage`:
+
+1. ``CountKmer``      distributed k-mer counting (reliable filter)
+2. ``DetectOverlap``  A, A^T, C = A . A^T (SUMMA SpGEMM, seed semiring)
+3. ``Alignment``      x-drop on every candidate, prune, containment removal
+4. ``TrReduction``    bidirected transitive reduction -> S
+5. ``ExtractContig``  Algorithm 2 (this paper's contribution)
+
+plus the optional future-work phases the scaffold package implements:
+
+6. ``Scaffold``       re-OLC the contig set into longer sequences
+7. ``Polish``         pileup-polish contigs against their reads
+
+Artifact keys: ``reads`` (DistReadStore, provided by the engine),
+``kmer_table``, ``A``, ``C``, ``R``, ``align_stats``, ``tr``, ``S``,
+``contigs``, ``scaffolds``, ``polished``.
+"""
+
+from __future__ import annotations
+
+from ..core.contig import contig_generation
+from ..kmer.counter import count_kmers
+from ..kmer.kmermatrix import build_kmer_matrix
+from ..overlap.detect import detect_overlaps
+from ..overlap.filter import AlignmentParams, build_overlap_graph
+from ..strgraph.transitive import transitive_reduction
+from .engine import RunContext, Stage, register_stage
+
+__all__ = [
+    "CountKmerStage",
+    "DetectOverlapStage",
+    "AlignmentStage",
+    "TrReductionStage",
+    "ExtractContigStage",
+    "ScaffoldStage",
+    "PolishStage",
+]
+
+
+@register_stage
+class CountKmerStage(Stage):
+    name = "CountKmer"
+    requires = ("reads",)
+    produces = ("kmer_table",)
+    config_fields = ("k", "reliable_lo", "reliable_hi")
+
+    def run(self, ctx: RunContext) -> None:
+        config = ctx.config
+        table = count_kmers(
+            ctx.require("reads"),
+            config.k,
+            reliable_lo=config.reliable_lo,
+            reliable_hi=config.reliable_hi,
+        )
+        ctx.counts["reliable_kmers"] = table.total
+        ctx.publish("kmer_table", table)
+
+
+@register_stage
+class DetectOverlapStage(Stage):
+    name = "DetectOverlap"
+    requires = ("reads", "kmer_table")
+    produces = ("A", "C")
+    config_fields = ("k", "reliable_lo", "reliable_hi", "min_shared_kmers", "memory_mode")
+    # A is the run's largest matrix and nothing downstream consumes it;
+    # resumed runs rehydrate only C
+    checkpoint_keys = ("C",)
+
+    def run(self, ctx: RunContext) -> None:
+        config = ctx.config
+        A = build_kmer_matrix(ctx.require("reads"), ctx.require("kmer_table"))
+        ctx.counts["A_nnz"] = A.nnz()
+        ctx.publish("A", A)
+        C = detect_overlaps(
+            A,
+            min_shared=config.min_shared_kmers,
+            merge_mode=config.merge_mode,
+        )
+        ctx.counts["C_nnz"] = C.nnz()
+        ctx.publish("C", C)
+
+
+@register_stage
+class AlignmentStage(Stage):
+    name = "Alignment"
+    requires = ("reads", "C")
+    produces = ("R", "align_stats")
+    config_fields = (
+        "k",
+        "xdrop",
+        "align_mode",
+        "min_score",
+        "min_overlap",
+        "end_margin",
+    )
+
+    def run(self, ctx: RunContext) -> None:
+        config = ctx.config
+        params = AlignmentParams(
+            k=config.k,
+            xdrop=config.xdrop,
+            mode=config.align_mode,
+            min_score=config.min_score,
+            min_overlap=config.min_overlap,
+            end_margin=config.end_margin,
+        )
+        R, align_stats = build_overlap_graph(
+            ctx.require("C"), ctx.require("reads"), params
+        )
+        ctx.counts["R_nnz"] = R.nnz()
+        ctx.publish("R", R)
+        ctx.publish("align_stats", align_stats)
+
+
+@register_stage
+class TrReductionStage(Stage):
+    name = "TrReduction"
+    requires = ("R",)
+    produces = ("tr", "S")
+    config_fields = ("tr_fuzz", "tr_max_rounds", "memory_mode")
+    # "S" is tr.S: checkpoint only the result object and restore the alias
+    # on load (avoids serializing the run's largest matrix twice)
+    checkpoint_keys = ("tr",)
+
+    def after_load(self, ctx: RunContext) -> None:
+        ctx.publish("S", ctx.require("tr").S)
+
+    def run(self, ctx: RunContext) -> None:
+        config = ctx.config
+        tr = transitive_reduction(
+            ctx.require("R"),
+            fuzz=config.tr_fuzz,
+            max_rounds=config.tr_max_rounds,
+            merge_mode=config.merge_mode,
+        )
+        ctx.counts["S_nnz"] = tr.S.nnz()
+        ctx.counts["tr_rounds"] = tr.rounds
+        ctx.counts["tr_removed"] = tr.total_removed
+        ctx.publish("tr", tr)
+        ctx.publish("S", tr.S)
+
+
+@register_stage
+class ExtractContigStage(Stage):
+    name = "ExtractContig"
+    requires = ("reads", "S")
+    produces = ("contigs",)
+    config_fields = (
+        "min_contig_reads",
+        "partition_method",
+        "emit_cycles",
+        "count_limit",
+        "polish",
+    )
+
+    def run(self, ctx: RunContext) -> None:
+        config = ctx.config
+        contigs = contig_generation(
+            ctx.require("S"),
+            ctx.require("reads"),
+            min_contig_reads=config.min_contig_reads,
+            partition_method=config.partition_method,
+            emit_cycles=config.emit_cycles,
+            count_limit=config.count_limit,
+            polish=config.polish,
+        )
+        ctx.counts["contigs"] = contigs.count
+        ctx.publish("contigs", contigs)
+
+
+@register_stage
+class ScaffoldStage(Stage):
+    """Optional §7 phase: re-OLC the contig set into longer sequences.
+
+    Reads its :class:`~repro.scaffold.merge.ScaffoldConfig` from
+    ``config.extra["scaffold"]`` when present.
+    """
+
+    name = "Scaffold"
+    requires = ("contigs",)
+    produces = ("scaffolds",)
+
+    def config_signature(self, config) -> dict:
+        # the knobs live in config.extra, not as named fields; repr() of
+        # the (dataclass) config is content-bearing and deterministic
+        return {"scaffold": repr(config.extra.get("scaffold"))}
+
+    def run(self, ctx: RunContext) -> None:
+        from ..scaffold.merge import scaffold_contigs
+
+        contigs = ctx.require("contigs")
+        seqs = [c.codes for c in contigs.contigs]
+        result = scaffold_contigs(seqs, ctx.config.extra.get("scaffold"))
+        ctx.counts["scaffolds"] = result.count
+        ctx.publish("scaffolds", result)
+
+
+@register_stage
+class PolishStage(Stage):
+    """Optional §7 phase: pileup-polish the final contigs against all reads.
+
+    Distinct from ``config.polish`` (the per-rank ``ExtractContig/Polish``
+    substage): this stage polishes the gathered contig set, reading its
+    :class:`~repro.scaffold.polish.PolishConfig` from
+    ``config.extra["polish"]`` when present.
+    """
+
+    name = "Polish"
+    requires = ("reads", "contigs")
+    produces = ("polished",)
+
+    def config_signature(self, config) -> dict:
+        return {"polish": repr(config.extra.get("polish"))}
+
+    def run(self, ctx: RunContext) -> None:
+        from ..scaffold.polish import polish_contigs
+
+        contigs = ctx.require("contigs")
+        store = ctx.require("reads")
+        reads = [codes for shard in store.shards for _, codes in shard]
+        result = polish_contigs(
+            list(contigs.contigs), reads, ctx.config.extra.get("polish")
+        )
+        ctx.counts["polished_bases_changed"] = result.total_changed
+        ctx.publish("polished", result)

@@ -121,6 +121,51 @@ class TestAssembleCli:
         assert rc == 0
         assert "peak memory" in text
 
+    def test_until_partial_run(self, workspace):
+        rc, text = run(
+            assemble_main,
+            ["--fasta", str(workspace["reads_fa"]), "-k", "21",
+             "--until", "TrReduction", "--breakdown"],
+        )
+        assert rc == 0
+        assert "partial run stopped after TrReduction" in text
+        assert "assembled" not in text
+        assert "TrReduction" in text
+
+    def test_trace_prints_stage_lines(self, workspace):
+        rc, text = run(
+            assemble_main,
+            ["--fasta", str(workspace["reads_fa"]), "-k", "21", "--trace"],
+        )
+        assert rc == 0
+        for stage in ("CountKmer", "ExtractContig"):
+            assert f"[pipeline] {stage} ..." in text
+            assert f"[pipeline] {stage} done" in text
+
+    def test_checkpoint_then_resume(self, workspace, tmp_path):
+        ckpt = tmp_path / "ckpt"
+        argv = ["--fasta", str(workspace["reads_fa"]), "-k", "21",
+                "--checkpoint-dir", str(ckpt)]
+        rc, text1 = run(assemble_main, argv)
+        assert rc == 0
+        rc, text2 = run(
+            assemble_main,
+            ["--fasta", str(workspace["reads_fa"]), "-k", "21", "--trace",
+             "--resume-from", str(ckpt)],
+        )
+        assert rc == 0
+        assert "[pipeline] CountKmer skipped (checkpoint)" in text2
+        assert "assembled 1 contigs" in text2
+
+    def test_resume_from_missing_dir_fails(self, workspace, capsys):
+        rc, _ = run(
+            assemble_main,
+            ["--fasta", str(workspace["reads_fa"]), "-k", "21",
+             "--resume-from", "/does/not/exist"],
+        )
+        assert rc == 1
+        assert "does not exist" in capsys.readouterr().err
+
     def test_missing_fasta_fails_cleanly(self, capsys):
         rc, _ = run(assemble_main, ["--fasta", "/does/not/exist.fa"])
         assert rc == 1

@@ -36,6 +36,25 @@ class TestConfig:
         with pytest.raises(PipelineError):
             PipelineConfig(partition_method="best").validate()
 
+    def test_inverted_reliable_band_rejected(self):
+        with pytest.raises(PipelineError):
+            PipelineConfig(reliable_lo=5, reliable_hi=2).validate()
+
+    def test_reliable_band_accepts_equal_bounds(self):
+        PipelineConfig(reliable_lo=2, reliable_hi=2).validate()
+
+    def test_min_shared_kmers_below_one_rejected(self):
+        with pytest.raises(PipelineError):
+            PipelineConfig(min_shared_kmers=0).validate()
+
+    def test_negative_xdrop_rejected(self):
+        with pytest.raises(PipelineError):
+            PipelineConfig(xdrop=-1).validate()
+
+    def test_negative_tr_fuzz_rejected(self):
+        with pytest.raises(PipelineError):
+            PipelineConfig(tr_fuzz=-1).validate()
+
     def test_machine_resolution(self):
         assert PipelineConfig(machine="summit-cpu").resolve_machine().name == "summit-cpu"
         with pytest.raises(PipelineError):
@@ -89,6 +108,41 @@ class TestRunPipeline:
         res = run_pipeline(rs, PipelineConfig(nprocs=4, k=17, reliable_lo=1, end_margin=5))
         assert res.align_stats.pairs_aligned > 0
         assert res.align_stats.dovetails > 0
+
+
+class TestStageSeconds:
+    """stage_seconds must match the exact name and '/'-substages only."""
+
+    def _result(self, stage_seconds):
+        from repro.mpi.stats import TimingReport
+        from repro.pipeline import PipelineResult
+
+        return PipelineResult(
+            report=TimingReport(
+                nprocs=1, machine="unit", stage_seconds=stage_seconds
+            )
+        )
+
+    def test_prefix_sibling_not_absorbed(self):
+        res = self._result(
+            {"Alignment": 1.0, "AlignmentExtra": 10.0, "Alignment/band": 0.5}
+        )
+        assert res.stage_seconds("Alignment") == pytest.approx(1.5)
+
+    def test_exact_name_plus_substages(self):
+        res = self._result(
+            {
+                "ExtractContig": 0.25,
+                "ExtractContig/InducedSubgraph": 1.0,
+                "ExtractContig/LocalAssembly": 0.5,
+                "ExtractContigAudit": 99.0,
+            }
+        )
+        assert res.stage_seconds("ExtractContig") == pytest.approx(1.75)
+
+    def test_missing_stage_is_zero(self):
+        res = self._result({"CountKmer": 1.0})
+        assert res.stage_seconds("Alignment") == 0.0
 
 
 class TestReports:

@@ -5,6 +5,10 @@ index replaces the distributed A matrix, candidate pairs come from shared
 canonical k-mers, and the same x-drop aligner scores them.  It represents
 the single-node style of the comparators in the paper's Table 3 (Hifiasm,
 HiCanu, miniasm, Canu all build in-memory indexes).
+
+Scoring routes through the batched engine (:mod:`repro.align.batch`): the
+candidate pairs surviving ``min_shared`` are extended and classified in
+vectorized chunks rather than one scalar ``xdrop_extend`` call per pair.
 """
 
 from __future__ import annotations
@@ -14,10 +18,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..align.classify import EdgeFields, OverlapClass, classify_overlap
-from ..align.xdrop import xdrop_extend
+from ..align.batch import (
+    KIND_CONTAINED_A,
+    KIND_CONTAINED_B,
+    KIND_DOVETAIL,
+    iter_classified_chunks,
+    pack_codes,
+)
+from ..align.classify import EdgeFields
 from ..kmer.codec import canonical_kmers, encode_kmers
-from ..seq import dna
 
 __all__ = ["SerialOverlap", "find_overlaps"]
 
@@ -43,11 +52,13 @@ def find_overlaps(
     end_margin: int = 10,
     min_overlap: int = 0,
     max_kmer_occ: int = 64,
+    batch_size: int = 512,
 ) -> tuple[list[SerialOverlap], set[int]]:
     """All dovetail overlaps plus the set of contained read ids.
 
     ``max_kmer_occ`` caps the posting-list length per k-mer (repeat
-    masking, as every real assembler does).
+    masking, as every real assembler does); ``batch_size`` bounds how many
+    pairs the batched aligner extends per kernel call.
     """
     index: dict[int, list[tuple[int, int, int]]] = defaultdict(list)
     for rid, codes in enumerate(reads):
@@ -86,37 +97,59 @@ def find_overlaps(
                     else:
                         pair_seed[key] = (pb, pa, oa == ob)
 
+    # task arrays, in index-discovery order (the output order contract)
+    keys = [key for key, count in pair_count.items() if count >= min_shared]
+    if not keys:
+        return [], set()
+    ra_arr = np.array([key[0] for key in keys], dtype=np.int64)
+    rb_arr = np.array([key[1] for key in keys], dtype=np.int64)
+    pa_arr = np.array([pair_seed[key][0] for key in keys], dtype=np.int64)
+    pb_arr = np.array([pair_seed[key][1] for key in keys], dtype=np.int64)
+    same_arr = np.array([pair_seed[key][2] for key in keys], dtype=bool)
+
+    buffer, offsets = pack_codes(reads)
     overlaps: list[SerialOverlap] = []
     contained: set[int] = set()
-    for (ra, rb), count in pair_count.items():
-        if count < min_shared:
-            continue
-        pa, pb, same = pair_seed[(ra, rb)]
-        a = reads[ra]
-        b = reads[rb]
-        if same:
-            b_oriented = b
-            seed_b = pb
-        else:
-            b_oriented = dna.revcomp(b)
-            seed_b = b.size - k - pb
-        res = xdrop_extend(a, b_oriented, pa, seed_b, k, xdrop, mode=mode)
-        if min(res.a_span, res.b_span) < min_overlap:
-            continue
-        info = classify_overlap(res, a.size, b.size, same, end_margin=end_margin)
-        if info.kind == OverlapClass.CONTAINED_A:
-            contained.add(ra)
-        elif info.kind == OverlapClass.CONTAINED_B:
-            contained.add(rb)
-        elif info.kind == OverlapClass.DOVETAIL:
+    chunks = iter_classified_chunks(
+        buffer,
+        offsets,
+        ra_arr,
+        rb_arr,
+        pa_arr,
+        pb_arr,
+        same_arr,
+        k,
+        xdrop,
+        mode=mode,
+        batch_size=batch_size,
+        min_overlap=min_overlap,
+        end_margin=end_margin,
+    )
+    for sl, res, cls, kind in chunks:
+        span = np.minimum(res.a_span, res.b_span)
+        ra_sl, rb_sl = ra_arr[sl], rb_arr[sl]
+        contained.update(ra_sl[kind == KIND_CONTAINED_A].tolist())
+        contained.update(rb_sl[kind == KIND_CONTAINED_B].tolist())
+        fwd, rev = cls.forward, cls.reverse
+        for p in np.flatnonzero(kind == KIND_DOVETAIL):
             overlaps.append(
                 SerialOverlap(
-                    a=ra,
-                    b=rb,
-                    score=info.score,
-                    overlap_len=min(res.a_span, res.b_span),
-                    forward=info.forward,
-                    reverse=info.reverse,
+                    a=int(ra_sl[p]),
+                    b=int(rb_sl[p]),
+                    score=int(cls.score[p]),
+                    overlap_len=int(span[p]),
+                    forward=EdgeFields(
+                        direction=int(fwd.direction[p]),
+                        suffix=int(fwd.suffix[p]),
+                        pre=int(fwd.pre[p]),
+                        post=int(fwd.post[p]),
+                    ),
+                    reverse=EdgeFields(
+                        direction=int(rev.direction[p]),
+                        suffix=int(rev.suffix[p]),
+                        pre=int(rev.pre[p]),
+                        post=int(rev.post[p]),
+                    ),
                 )
             )
     overlaps = [o for o in overlaps if o.a not in contained and o.b not in contained]

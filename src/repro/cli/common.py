@@ -81,6 +81,10 @@ def add_pipeline_args(parser: argparse.ArgumentParser) -> None:
         help="gapless (diag) or banded-DP alignment",
     )
     parser.add_argument(
+        "--align-batch-size", type=positive_int, default=None,
+        help="candidate pairs per batched-aligner kernel call",
+    )
+    parser.add_argument(
         "--memory-mode", choices=("fast", "low"), default="fast",
         help="SpGEMM accumulation strategy (low = stream merge)",
     )
@@ -109,4 +113,6 @@ def build_pipeline_config(args, ds=None) -> PipelineConfig:
         cfg.xdrop = args.xdrop
     if args.align_mode is not None:
         cfg.align_mode = args.align_mode
+    if args.align_batch_size is not None:
+        cfg.align_batch_size = args.align_batch_size
     return cfg

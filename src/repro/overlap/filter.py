@@ -14,10 +14,16 @@ Each unordered pair is aligned exactly once: the upper triangle of the
 concentrates in the above-diagonal blocks of the 2D grid, the tasks are
 first **redistributed round-robin** across ranks (one exclusive-scan
 allgather + one all-to-all) so alignment -- the most expensive stage of the
-pipeline -- stays load-balanced.  The classifier then emits *both* directed
-edge payloads per dovetail, and a final all-to-all routes them to their 2D
-block owners, rebuilding the full symmetric R with
-:data:`~repro.sparse.types.OVERLAP_DTYPE` entries.
+pipeline -- stays load-balanced.
+
+Within a rank the tasks are processed in chunks of
+``AlignmentParams.batch_size`` through the **batched alignment engine**
+(:mod:`repro.align.batch`): one vectorized x-drop extension and one
+vectorized classification per chunk instead of a Python loop over pairs,
+and a single :data:`~repro.sparse.types.OVERLAP_DTYPE` structured fill per
+rank.  The classifier emits *both* directed edge payloads per dovetail, and
+a final all-to-all routes them to their 2D block owners, rebuilding the
+full symmetric R.
 """
 
 from __future__ import annotations
@@ -26,10 +32,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..align.classify import OverlapClass, classify_overlap
-from ..align.xdrop import xdrop_extend
-from ..seq import dna
-from ..seq.readstore import DistReadStore
+from ..align.batch import (
+    KIND_CONTAINED_A,
+    KIND_CONTAINED_B,
+    KIND_DOVETAIL,
+    KIND_INTERNAL,
+    iter_classified_chunks,
+)
+from ..seq.readstore import DistReadStore, PackedReads
 from ..sparse.distmat import DistSparseMatrix
 from ..sparse.types import OVERLAP_DTYPE, SEED_DTYPE
 
@@ -44,7 +54,9 @@ class AlignmentParams:
     datasets, 7 for H. sapiens); ``mode`` selects the gapless or banded
     engine; ``min_score`` is the pruning threshold ``t``; ``min_overlap``
     rejects spurious short overlaps; ``end_margin`` is the dovetail
-    endpoint slack.
+    endpoint slack; ``batch_size`` bounds how many pairs the batched
+    engine extends per kernel call (memory/throughput trade-off -- results
+    are independent of it).
     """
 
     k: int
@@ -55,6 +67,7 @@ class AlignmentParams:
     min_score: int = 0
     min_overlap: int = 0
     end_margin: int = 10
+    batch_size: int = 512
 
 
 @dataclass
@@ -131,6 +144,117 @@ def _redistribute_tasks(
     return tasks
 
 
+def _align_rank_tasks(
+    local: PackedReads,
+    gi_arr: np.ndarray,
+    gj_arr: np.ndarray,
+    seeds: np.ndarray,
+    params: AlignmentParams,
+    stats: AlignmentStats,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+    """Batch-align one rank's task list.
+
+    Returns ``(src, dst, vals, contained_ids, aligned_bases)``: the
+    interleaved forward/reverse dovetail edge triples (one structured fill
+    for the whole rank), the sorted unique global ids of contained reads,
+    and the total extended bases for the compute-cost model.
+    """
+    n = int(gi_arr.size)
+    if n == 0:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=OVERLAP_DTYPE),
+            np.empty(0, dtype=np.int64),
+            0,
+        )
+    a_idx = local.indices_of(gi_arr)
+    b_idx = local.indices_of(gj_arr)
+    pos_a = seeds["pos_a"].astype(np.int64)
+    pos_b = seeds["pos_b"].astype(np.int64)
+    same = seeds["same_strand"] != 0
+
+    aligned_bases = 0
+    contained_chunks: list[np.ndarray] = []
+    u_chunks: list[np.ndarray] = []
+    v_chunks: list[np.ndarray] = []
+    fwd_chunks: list[tuple] = []
+    rev_chunks: list[tuple] = []
+    score_chunks: list[np.ndarray] = []
+
+    chunks = iter_classified_chunks(
+        local.buffer,
+        local.offsets,
+        a_idx,
+        b_idx,
+        pos_a,
+        pos_b,
+        same,
+        params.k,
+        params.xdrop,
+        mode=params.mode,
+        batch_size=params.batch_size,
+        match=params.match,
+        mismatch=params.mismatch,
+        min_score=params.min_score,
+        min_overlap=params.min_overlap,
+        end_margin=params.end_margin,
+    )
+    for sl, res, cls, kind in chunks:
+        aligned_bases += int(res.a_span.sum() + res.b_span.sum())
+        stats.pairs_aligned += int(res.a_span.size)
+        stats.low_score += int(np.count_nonzero(kind == -1))
+        is_ca = kind == KIND_CONTAINED_A
+        is_cb = kind == KIND_CONTAINED_B
+        stats.contained += int(np.count_nonzero(is_ca) + np.count_nonzero(is_cb))
+        stats.internal += int(np.count_nonzero(kind == KIND_INTERNAL))
+        if is_ca.any():
+            contained_chunks.append(gi_arr[sl][is_ca])
+        if is_cb.any():
+            contained_chunks.append(gj_arr[sl][is_cb])
+        dove = kind == KIND_DOVETAIL
+        ndove = int(np.count_nonzero(dove))
+        stats.dovetails += ndove
+        if ndove:
+            u_chunks.append(gi_arr[sl][dove])
+            v_chunks.append(gj_arr[sl][dove])
+            for out, half in ((fwd_chunks, cls.forward), (rev_chunks, cls.reverse)):
+                out.append(
+                    (
+                        half.direction[dove],
+                        half.suffix[dove],
+                        half.pre[dove],
+                        half.post[dove],
+                    )
+                )
+            score_chunks.append(cls.score[dove])
+
+    # one interleaved structured fill per rank: fwd at even slots, rev at
+    # odd slots, preserving task order (the duplicate-edge reduce is
+    # stable, so record order is part of the contract)
+    ndove = sum(int(u.size) for u in u_chunks)
+    src = np.empty(2 * ndove, dtype=np.int64)
+    dst = np.empty(2 * ndove, dtype=np.int64)
+    vals = np.zeros(2 * ndove, dtype=OVERLAP_DTYPE)
+    if ndove:
+        u = np.concatenate(u_chunks)
+        v = np.concatenate(v_chunks)
+        src[0::2], dst[0::2] = u, v
+        src[1::2], dst[1::2] = v, u
+        for half, offset in ((fwd_chunks, 0), (rev_chunks, 1)):
+            for name, pos in (("dir", 0), ("suffix", 1), ("pre", 2), ("post", 3)):
+                vals[name][offset::2] = np.concatenate([c[pos] for c in half])
+        scores = np.concatenate(score_chunks)
+        vals["score"][0::2] = scores
+        vals["score"][1::2] = scores
+    contained = (
+        np.unique(np.concatenate(contained_chunks))
+        if contained_chunks
+        else np.empty(0, dtype=np.int64)
+    )
+    return src, dst, vals, contained, aligned_bases
+
+
 def build_overlap_graph(
     C: DistSparseMatrix,
     reads: DistReadStore,
@@ -157,79 +281,18 @@ def build_overlap_graph(
         )
     fetched = reads.fetch(requests)
 
-    # per-rank alignment loop
+    # per-rank batched alignment: each rank's tasks go through the batch
+    # engine in `params.batch_size` chunks
     triples = []
-    contained_per_rank: list[set[int]] = [set() for _ in range(P)]
+    contained_lists: list[np.ndarray] = []
     for rank in range(P):
         gi_arr, gj_arr, seeds = tasks[rank]
-        local = fetched[rank]
-        src, dst, vals = [], [], []
-        aligned_bases = 0
-        for e in range(gi_arr.size):
-            gi = int(gi_arr[e])
-            gj = int(gj_arr[e])
-            seed = seeds[e]
-            a = local.codes(local.index_of(gi))
-            b = local.codes(local.index_of(gj))
-            same = bool(seed["same_strand"])
-            if same:
-                b_oriented = b
-                seed_b = int(seed["pos_b"])
-            else:
-                b_oriented = dna.revcomp(b)
-                seed_b = b.size - params.k - int(seed["pos_b"])
-            res = xdrop_extend(
-                a,
-                b_oriented,
-                int(seed["pos_a"]),
-                seed_b,
-                params.k,
-                params.xdrop,
-                mode=params.mode,
-                match=params.match,
-                mismatch=params.mismatch,
-            )
-            aligned_bases += res.a_span + res.b_span
-            stats.pairs_aligned += 1
-            if res.score < params.min_score or min(res.a_span, res.b_span) < params.min_overlap:
-                stats.low_score += 1
-                continue
-            info = classify_overlap(
-                res, a.size, b.size, same, end_margin=params.end_margin
-            )
-            if info.kind == OverlapClass.CONTAINED_A:
-                contained_per_rank[rank].add(gi)
-                stats.contained += 1
-                continue
-            if info.kind == OverlapClass.CONTAINED_B:
-                contained_per_rank[rank].add(gj)
-                stats.contained += 1
-                continue
-            if info.kind == OverlapClass.INTERNAL:
-                stats.internal += 1
-                continue
-            stats.dovetails += 1
-            for u, v, fields in (
-                (gi, gj, info.forward),
-                (gj, gi, info.reverse),
-            ):
-                rec = np.zeros(1, dtype=OVERLAP_DTYPE)
-                rec["dir"] = fields.direction
-                rec["suffix"] = fields.suffix
-                rec["pre"] = fields.pre
-                rec["post"] = fields.post
-                rec["score"] = info.score
-                src.append(u)
-                dst.append(v)
-                vals.append(rec)
-        world.charge_compute(rank, aligned_bases, kind="alignment")
-        triples.append(
-            (
-                np.asarray(src, dtype=np.int64),
-                np.asarray(dst, dtype=np.int64),
-                np.concatenate(vals) if vals else np.empty(0, dtype=OVERLAP_DTYPE),
-            )
+        src, dst, vals, contained, aligned_bases = _align_rank_tasks(
+            fetched[rank], gi_arr, gj_arr, seeds, params, stats
         )
+        world.charge_compute(rank, aligned_bases, kind="alignment")
+        triples.append((src, dst, vals))
+        contained_lists.append(contained)
 
     R = DistSparseMatrix.from_rank_triples(
         grid,
@@ -239,11 +302,9 @@ def build_overlap_graph(
         dtype=OVERLAP_DTYPE,
     )
 
-    # remove contained reads entirely (redundant vertices)
-    contained_lists = [
-        np.asarray(sorted(s), dtype=np.int64) for s in contained_per_rank
-    ]
-    stats.contained_reads = int(sum(len(s) for s in contained_lists))
+    # remove contained reads entirely (redundant vertices); per-rank lists
+    # are already sorted unique int64 arrays
+    stats.contained_reads = int(sum(ids.size for ids in contained_lists))
     stats.contained_ids = (
         np.unique(np.concatenate(contained_lists))
         if stats.contained_reads

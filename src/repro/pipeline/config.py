@@ -31,6 +31,10 @@ class PipelineConfig:
     min_shared_kmers: int = 1
     xdrop: int = 15
     align_mode: str = "diag"
+    # pairs per batched-aligner kernel call (results are independent of it;
+    # larger batches amortize more Python/NumPy overhead, smaller batches
+    # bound the padded gather matrices)
+    align_batch_size: int = 512
     min_score: int = 0
     min_overlap: int = 0
     end_margin: int = 10
@@ -97,6 +101,10 @@ class PipelineConfig:
             raise PipelineError(f"tr_fuzz must be >= 0, got {self.tr_fuzz}")
         if self.align_mode not in ("diag", "dp"):
             raise PipelineError(f"unknown align_mode {self.align_mode!r}")
+        if self.align_batch_size < 1:
+            raise PipelineError(
+                f"align_batch_size must be >= 1, got {self.align_batch_size}"
+            )
         if self.partition_method not in ("lpt", "greedy", "round_robin"):
             raise PipelineError(
                 f"unknown partition_method {self.partition_method!r}"

@@ -105,6 +105,7 @@ class AlignmentStage(Stage):
             min_score=config.min_score,
             min_overlap=config.min_overlap,
             end_margin=config.end_margin,
+            batch_size=config.align_batch_size,
         )
         R, align_stats = build_overlap_graph(
             ctx.require("C"), ctx.require("reads"), params

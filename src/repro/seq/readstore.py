@@ -123,6 +123,22 @@ class PackedReads:
             raise SequenceError(f"read {global_id} not stored here")
         return pos
 
+    def indices_of(self, global_ids: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`index_of`: local indices of global ids."""
+        global_ids = np.asarray(global_ids, dtype=np.int64)
+        if self.ids.size == 0:
+            if global_ids.size == 0:
+                return np.empty(0, dtype=np.int64)
+            raise SequenceError(f"read {int(global_ids[0])} not stored here")
+        idx = np.searchsorted(self.ids, global_ids)
+        bad = (idx >= self.ids.size) | (
+            self.ids[np.minimum(idx, self.ids.size - 1)] != global_ids
+        )
+        if bad.any():
+            missing = int(global_ids[np.flatnonzero(bad)[0]])
+            raise SequenceError(f"read {missing} not stored here")
+        return idx
+
     def select(self, local_indices: np.ndarray) -> "PackedReads":
         """New PackedReads containing the given local reads, in order."""
         local_indices = np.asarray(local_indices, dtype=np.int64)

@@ -1,0 +1,249 @@
+"""Property tests: the batched engine is bit-identical to the scalar one.
+
+The contract of :mod:`repro.align.batch` is exact element-wise agreement
+with :func:`repro.align.xdrop.xdrop_extend` and
+:func:`repro.align.classify.classify_overlap` -- both strands, both modes,
+edge seeds at sequence boundaries, zero-length extensions.  These tests
+enforce it on randomized corpora plus handcrafted edge cases.
+"""
+
+import numpy as np
+import pytest
+
+from repro.align import (
+    KIND_CONTAINED_A,
+    KIND_CONTAINED_B,
+    KIND_DOVETAIL,
+    KIND_INTERNAL,
+    OverlapClass,
+    batch_xdrop_extend,
+    classify_overlap,
+    classify_overlaps,
+    complemented_pool,
+    pack_codes,
+    xdrop_extend,
+)
+from repro.errors import AlignmentError
+from repro.seq import dna
+
+KIND_OF_CLASS = {
+    OverlapClass.DOVETAIL: KIND_DOVETAIL,
+    OverlapClass.CONTAINED_A: KIND_CONTAINED_A,
+    OverlapClass.CONTAINED_B: KIND_CONTAINED_B,
+    OverlapClass.INTERNAL: KIND_INTERNAL,
+}
+
+
+def random_corpus(rng, npairs, seed_len, min_len=None, max_len=400, related=0.7):
+    """Reads plus valid random seeds: mixed strands, boundary seeds included.
+
+    A ``related`` fraction of pairs shares a mutated overlap region (so
+    extensions actually run); the rest are unrelated reads whose seeds
+    anchor junk extensions that die immediately.
+    """
+    min_len = min_len if min_len is not None else seed_len
+    reads = []
+    tasks = []  # (a_idx, b_idx, seed_a, pos_b, same)
+    for _ in range(npairs):
+        la = int(rng.integers(min_len, max_len + 1))
+        lb = int(rng.integers(min_len, max_len + 1))
+        if rng.random() < related:
+            base = dna.random_codes(rng, max(la, lb))
+            a = base[:la].copy()
+            b = base[:lb].copy()
+            nmut = int(rng.integers(0, max(lb // 20, 1)))
+            for _ in range(nmut):
+                p = int(rng.integers(0, lb))
+                b[p] = (b[p] + 1) % 4
+        else:
+            a = dna.random_codes(rng, la)
+            b = dna.random_codes(rng, lb)
+        same = bool(rng.random() < 0.5)
+        # force some seeds onto the exact boundaries (zero-length sides)
+        edge = rng.random()
+        if edge < 0.15:
+            sa = 0
+        elif edge < 0.3:
+            sa = la - seed_len
+        else:
+            sa = int(rng.integers(0, la - seed_len + 1))
+        pb = int(rng.integers(0, lb - seed_len + 1))
+        if not same:
+            # plant the seed so the oriented extension still sees homology
+            b = dna.revcomp(b)
+        a_idx = len(reads)
+        reads.append(a)
+        reads.append(b)
+        tasks.append((a_idx, a_idx + 1, sa, pb, same))
+    return reads, tasks
+
+
+def scalar_reference(reads, tasks, seed_len, x, mode, **kwargs):
+    """Run the scalar engine the way overlap/filter.py historically did."""
+    out = []
+    for a_idx, b_idx, sa, pb, same in tasks:
+        a = reads[a_idx]
+        b = reads[b_idx]
+        if same:
+            b_oriented = b
+            sb = pb
+        else:
+            b_oriented = dna.revcomp(b)
+            sb = b.size - seed_len - pb
+        out.append(
+            xdrop_extend(a, b_oriented, sa, sb, seed_len, x, mode=mode, **kwargs)
+        )
+    return out
+
+
+def run_batch(reads, tasks, seed_len, x, mode, **kwargs):
+    buffer, offsets = pack_codes(reads)
+    a_idx = np.array([t[0] for t in tasks], dtype=np.int64)
+    b_idx = np.array([t[1] for t in tasks], dtype=np.int64)
+    sa = np.array([t[2] for t in tasks], dtype=np.int64)
+    pb = np.array([t[3] for t in tasks], dtype=np.int64)
+    same = np.array([t[4] for t in tasks], dtype=bool)
+    return batch_xdrop_extend(
+        buffer, offsets, a_idx, b_idx, sa, pb, same, seed_len, x, mode=mode, **kwargs
+    )
+
+
+def assert_identical(batch, scalars):
+    assert len(batch) == len(scalars)
+    for p, ref in enumerate(scalars):
+        got = batch.item(p)
+        assert got == ref, f"pair {p}: batch {got} != scalar {ref}"
+
+
+class TestBatchEqualsScalar:
+    @pytest.mark.parametrize("mode", ["diag", "dp"])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_randomized_pairs(self, mode, seed):
+        rng = np.random.default_rng(100 + seed)
+        npairs = 60 if mode == "dp" else 150
+        reads, tasks = random_corpus(rng, npairs, seed_len=13, max_len=220)
+        scalars = scalar_reference(reads, tasks, 13, 15, mode)
+        batch = run_batch(reads, tasks, 13, 15, mode)
+        assert_identical(batch, scalars)
+
+    @pytest.mark.parametrize("mode", ["diag", "dp"])
+    def test_tight_xdrop_and_scores(self, mode):
+        rng = np.random.default_rng(7)
+        reads, tasks = random_corpus(rng, 50, seed_len=9, max_len=120, related=0.5)
+        scalars = scalar_reference(
+            reads, tasks, 9, 3, mode, match=2, mismatch=-3
+        )
+        batch = run_batch(reads, tasks, 9, 3, mode, match=2, mismatch=-3)
+        assert_identical(batch, scalars)
+
+    def test_dp_band_and_gap_knobs(self):
+        rng = np.random.default_rng(8)
+        reads, tasks = random_corpus(rng, 30, seed_len=11, max_len=150)
+        scalars = scalar_reference(reads, tasks, 11, 10, "dp", gap=-2, band=4)
+        batch = run_batch(reads, tasks, 11, 10, "dp", gap=-2, band=4)
+        assert_identical(batch, scalars)
+
+    @pytest.mark.parametrize("mode", ["diag", "dp"])
+    def test_seed_spans_whole_read(self, mode):
+        """Zero-length extensions on both sides (read length == seed length)."""
+        rng = np.random.default_rng(9)
+        a = dna.random_codes(rng, 15)
+        reads = [a, a.copy(), dna.revcomp(a)]
+        tasks = [(0, 1, 0, 0, True), (0, 2, 0, 0, False)]
+        scalars = scalar_reference(reads, tasks, 15, 15, mode)
+        batch = run_batch(reads, tasks, 15, 15, mode)
+        assert_identical(batch, scalars)
+        assert batch.a_span.tolist() == [15, 15]
+
+    @pytest.mark.parametrize("mode", ["diag", "dp"])
+    def test_boundary_seeds(self, mode):
+        """Seeds flush against either end of either read."""
+        rng = np.random.default_rng(10)
+        genome = dna.random_codes(rng, 200)
+        a = genome[:120].copy()
+        b = genome[60:].copy()
+        reads = [a, b, dna.revcomp(b)]
+        k = 10
+        tasks = [
+            (0, 1, 60, 0, True),            # b prefix seed
+            (0, 1, 110, 50, True),          # a suffix seed
+            (0, 2, 60, b.size - k, False),  # reverse strand, stored-suffix seed
+            (0, 2, 110, b.size - k - 50, False),
+        ]
+        scalars = scalar_reference(reads, tasks, k, 15, mode)
+        batch = run_batch(reads, tasks, k, 15, mode)
+        assert_identical(batch, scalars)
+
+    def test_empty_batch(self):
+        buffer, offsets = pack_codes([np.zeros(5, dtype=np.uint8)])
+        empty = np.empty(0, dtype=np.int64)
+        res = batch_xdrop_extend(
+            buffer, offsets, empty, empty, empty, empty,
+            np.empty(0, dtype=bool), 3, 15,
+        )
+        assert len(res) == 0
+
+    def test_precomputed_comp_pool_matches(self):
+        """A reused complemented pool gives the same results as none."""
+        rng = np.random.default_rng(12)
+        reads, tasks = random_corpus(rng, 40, seed_len=11, max_len=150)
+        buffer, offsets = pack_codes(reads)
+        pool = complemented_pool(buffer)
+        assert np.array_equal(pool[: buffer.size], buffer)
+        assert np.array_equal(pool[buffer.size :], 3 - buffer)
+        fresh = run_batch(reads, tasks, 11, 15, "diag")
+        reused = run_batch(reads, tasks, 11, 15, "diag", comp_pool=pool)
+        for field in ("score", "a_begin", "a_end", "b_begin", "b_end"):
+            assert np.array_equal(getattr(fresh, field), getattr(reused, field))
+
+    def test_wrong_sized_comp_pool_raises(self):
+        reads = [np.zeros(10, dtype=np.uint8), np.zeros(10, dtype=np.uint8)]
+        with pytest.raises(AlignmentError):
+            run_batch(
+                reads, [(0, 1, 0, 0, True)], 5, 15, "diag",
+                comp_pool=np.zeros(7, dtype=np.uint8),
+            )
+
+    def test_invalid_seed_raises(self):
+        reads = [np.zeros(10, dtype=np.uint8), np.zeros(10, dtype=np.uint8)]
+        with pytest.raises(AlignmentError):
+            run_batch(reads, [(0, 1, 8, 0, True)], 5, 15, "diag")
+
+    def test_unknown_mode_raises(self):
+        reads = [np.zeros(10, dtype=np.uint8), np.zeros(10, dtype=np.uint8)]
+        with pytest.raises(AlignmentError):
+            run_batch(reads, [(0, 1, 0, 0, True)], 5, 15, "smith-waterman")
+
+
+class TestClassifyBatch:
+    @pytest.mark.parametrize("mode", ["diag", "dp"])
+    @pytest.mark.parametrize("end_margin", [0, 5, 10])
+    def test_matches_scalar_classifier(self, mode, end_margin):
+        rng = np.random.default_rng(42)
+        reads, tasks = random_corpus(rng, 120, seed_len=13, max_len=200)
+        scalars = scalar_reference(reads, tasks, 13, 15, mode)
+        batch = run_batch(reads, tasks, 13, 15, mode)
+        alen = np.array([reads[t[0]].size for t in tasks], dtype=np.int64)
+        blen = np.array([reads[t[1]].size for t in tasks], dtype=np.int64)
+        same = np.array([t[4] for t in tasks], dtype=bool)
+        cls = classify_overlaps(batch, alen, blen, same, end_margin=end_margin)
+        ndove = 0
+        for p, res in enumerate(scalars):
+            info = classify_overlap(
+                res, int(alen[p]), int(blen[p]), bool(same[p]),
+                end_margin=end_margin,
+            )
+            assert int(cls.kind[p]) == KIND_OF_CLASS[info.kind], f"pair {p}"
+            assert int(cls.score[p]) == info.score
+            if info.kind != OverlapClass.DOVETAIL:
+                continue
+            ndove += 1
+            for half, fields in (("forward", info.forward), ("reverse", info.reverse)):
+                arrs = getattr(cls, half)
+                assert int(arrs.direction[p]) == fields.direction, f"pair {p} {half}"
+                assert int(arrs.suffix[p]) == fields.suffix, f"pair {p} {half}"
+                assert int(arrs.pre[p]) == fields.pre, f"pair {p} {half}"
+                assert int(arrs.post[p]) == fields.post, f"pair {p} {half}"
+        # the corpus must actually exercise the dovetail payload path
+        if end_margin == 10:
+            assert ndove > 0

@@ -116,3 +116,38 @@ class TestBuildOverlapGraph:
         _, _, vals = R.to_global_coo()
         assert np.all(vals["suffix"] >= 0)
         assert np.all(vals["suffix"] <= 300)  # bounded by read length
+
+    @pytest.mark.parametrize("mode", ["diag", "dp"])
+    def test_result_invariant_to_batch_size(self, grid4, mode):
+        """R and the stats must not depend on the kernel chunking."""
+        genome, rs, store, A = overlap_setup(
+            grid4, pattern="alternate", genome_len=1500, stride=150
+        )
+        C = detect_overlaps(A)
+        results = []
+        for batch_size in (1, 7, 10**6):
+            R, stats = build_overlap_graph(
+                C,
+                store,
+                AlignmentParams(k=15, mode=mode, end_margin=5, batch_size=batch_size),
+            )
+            results.append((R.to_global_coo(), stats))
+        (rows0, cols0, vals0), stats0 = results[0]
+        for (rows, cols, vals), stats in results[1:]:
+            assert np.array_equal(rows, rows0)
+            assert np.array_equal(cols, cols0)
+            assert np.array_equal(vals, vals0)
+            assert stats.per_kind == stats0.per_kind
+            assert np.array_equal(stats.contained_ids, stats0.contained_ids)
+
+    def test_contained_ids_sorted_unique(self, grid4):
+        genome = make_genome(GenomeSpec(length=800, seed=5))
+        reads = [genome[0:400], genome[100:250], genome[300:700]]
+        store = DistReadStore.from_global(grid4, reads)
+        table = count_kmers(store, 15, reliable_lo=1)
+        A = build_kmer_matrix(store, table)
+        C = detect_overlaps(A)
+        _, stats = build_overlap_graph(C, store, AlignmentParams(k=15, end_margin=5))
+        ids = stats.contained_ids
+        assert ids.dtype == np.int64
+        assert np.array_equal(ids, np.unique(ids))

@@ -51,6 +51,11 @@ class TestConfig:
         with pytest.raises(PipelineError):
             PipelineConfig(xdrop=-1).validate()
 
+    def test_align_batch_size_below_one_rejected(self):
+        with pytest.raises(PipelineError):
+            PipelineConfig(align_batch_size=0).validate()
+        PipelineConfig(align_batch_size=1).validate()
+
     def test_negative_tr_fuzz_rejected(self):
         with pytest.raises(PipelineError):
             PipelineConfig(tr_fuzz=-1).validate()

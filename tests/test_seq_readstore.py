@@ -37,6 +37,19 @@ class TestPackedReads:
         with pytest.raises(SequenceError):
             pr.index_of(7)
 
+    def test_indices_of_vectorized(self):
+        pr = PackedReads.from_codes(
+            [dna.encode("AC"), dna.encode("GG"), dna.encode("TT")],
+            ids=[10, 42, 99],
+        )
+        assert list(pr.indices_of(np.array([99, 10, 42, 10]))) == [2, 0, 1, 0]
+        assert pr.indices_of(np.empty(0, dtype=np.int64)).size == 0
+        for missing in ([7], [43], [100], [42, 7]):
+            with pytest.raises(SequenceError):
+                pr.indices_of(np.array(missing))
+        with pytest.raises(SequenceError):
+            PackedReads.empty().indices_of(np.array([1]))
+
     def test_select_preserves_order(self):
         pr = PackedReads.from_strings(["AA", "CC", "GG"])
         sub = pr.select(np.array([2, 0]))

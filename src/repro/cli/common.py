@@ -85,6 +85,10 @@ def add_pipeline_args(parser: argparse.ArgumentParser) -> None:
         help="candidate pairs per batched-aligner kernel call",
     )
     parser.add_argument(
+        "--contig-engine", choices=("batch", "scalar"), default=None,
+        help="local-assembly traversal: vectorized batch or scalar reference",
+    )
+    parser.add_argument(
         "--memory-mode", choices=("fast", "low"), default="fast",
         help="SpGEMM accumulation strategy (low = stream merge)",
     )
@@ -115,4 +119,6 @@ def build_pipeline_config(args, ds=None) -> PipelineConfig:
         cfg.align_mode = args.align_mode
     if args.align_batch_size is not None:
         cfg.align_batch_size = args.align_batch_size
+    if getattr(args, "contig_engine", None) is not None:
+        cfg.contig_engine = args.contig_engine
     return cfg

@@ -1,6 +1,7 @@
 """The paper's contribution: distributed contig generation (Algorithm 2)."""
 
 from .assembly import Contig, LocalAssemblyResult, local_assembly
+from .batch import BatchWalks, VertexEdgeTable, local_assembly_batch
 from .branch import BRANCH_DEGREE, BranchRemovalResult, branch_removal
 from .ccomp import ConnectedComponentsResult, connected_components, contig_sizes_distributed
 from .contig import STAGE_PREFIX, ContigSet, contig_generation
@@ -27,6 +28,9 @@ __all__ = [
     "exchange_sequences",
     "SequenceExchangeResult",
     "local_assembly",
+    "local_assembly_batch",
     "LocalAssemblyResult",
+    "BatchWalks",
+    "VertexEdgeTable",
     "Contig",
 ]

@@ -158,16 +158,20 @@ def _concatenate(
     read_path: list[int] = []
     orientations: list[int] = []
 
-    def codes_of(local_vertex: int) -> np.ndarray:
-        gid = int(graph.global_ids[local_vertex])
-        return reads.codes(reads.index_of(gid))
-
     if not edges:
         raise AssemblyError("a contig walk must contain at least one edge")
 
+    # one vectorized id -> local-index resolution for the whole path (the
+    # per-vertex bisect was a scalar hot-path defect)
+    path_gids = graph.global_ids[np.asarray(path, dtype=np.int64)]
+    path_idx = reads.indices_of(path_gids)
+
+    def codes_of(path_pos: int) -> np.ndarray:
+        return reads.codes(int(path_idx[path_pos]))
+
     # first read: everything up to the first overlap
     first = path[0]
-    first_codes = codes_of(first)
+    first_codes = codes_of(0)
     e0 = edges[0][2]
     fwd0 = bool(src_end_bit(int(e0["dir"])))  # exits via suffix => forward
     alpha = 0 if fwd0 else first_codes.size - 1
@@ -178,7 +182,7 @@ def _concatenate(
     # middle reads: from the incoming overlap start to before the outgoing
     for idx in range(1, len(path) - 1):
         vertex = path[idx]
-        codes = codes_of(vertex)
+        codes = codes_of(idx)
         e_in = edges[idx - 1][2]
         e_out = edges[idx][2]
         fwd = dst_end_bit(int(e_in["dir"])) == 0  # entered at prefix
@@ -190,7 +194,7 @@ def _concatenate(
 
     # last read: from the incoming overlap start to its far end
     last = path[-1]
-    last_codes = codes_of(last)
+    last_codes = codes_of(len(path) - 1)
     e_last = edges[-1][2]
     fwd_last = dst_end_bit(int(e_last["dir"])) == 0
     beta = last_codes.size - 1 if fwd_last else 0
@@ -213,8 +217,21 @@ def local_assembly(
     graph: InducedGraph,
     reads: PackedReads,
     emit_cycles: bool = False,
+    engine: str = "batch",
 ) -> LocalAssemblyResult:
-    """Assemble every linear component of one rank's induced subgraph."""
+    """Assemble every linear component of one rank's induced subgraph.
+
+    ``engine="batch"`` (the default) routes through the vectorized chain
+    extractor of :mod:`~repro.core.batch`; ``engine="scalar"`` runs this
+    module's per-vertex walk.  Both produce bit-identical results -- the
+    scalar path remains the property-tested reference.
+    """
+    if engine not in ("batch", "scalar"):
+        raise AssemblyError(f"unknown assembly engine {engine!r}")
+    if engine == "batch":
+        from .batch import local_assembly_batch
+
+        return local_assembly_batch(graph, reads, emit_cycles=emit_cycles)
     result = LocalAssemblyResult()
     nv = graph.n_vertices
     if nv == 0:

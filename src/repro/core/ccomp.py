@@ -41,16 +41,31 @@ class ConnectedComponentsResult:
 
 
 def _shortcut_until_stable(f: DistVector, max_rounds: int = 64) -> int:
-    """Pointer-jump until every vertex points at a root. Returns rounds."""
+    """Pointer-jump until every vertex points at a root. Returns rounds.
+
+    Convergence-aware: a rank whose block survives a round unchanged points
+    entirely at roots, and roots never move during shortcutting, so the rank
+    is *permanently* stable for the rest of this call -- it stops gathering
+    grandparents (empty request) and is charged no further compute.  Only
+    ranks that actually jump pointers pay for the work.
+    """
     world = f.grid.world
+    stable = np.zeros(world.nprocs, dtype=bool)
+    empty = np.empty(0, dtype=np.int64)
     for rounds in range(1, max_rounds + 1):
-        requests = [blk.copy() for blk in f.blocks]
+        requests = [
+            empty if stable[rank] else blk for rank, blk in enumerate(f.blocks)
+        ]
         grandparents = f.gather(requests)
         changed = 0
         for rank, gp in enumerate(grandparents):
+            if stable[rank]:
+                continue
             if gp.size and not np.array_equal(gp, f.blocks[rank]):
                 changed += int((gp != f.blocks[rank]).sum())
                 f.blocks[rank] = gp
+            else:
+                stable[rank] = True
             world.charge_compute(rank, gp.size)
         total_changed = world.comm.allreduce(
             [changed if r == 0 else 0 for r in range(world.nprocs)],
@@ -123,12 +138,50 @@ def contig_sizes_distributed(labels: DistVector) -> DistVector:
     """
     grid, world = labels.grid, labels.grid.world
     n = labels.n
-    per_rank_counts = []
+    P = grid.nprocs
+
+    # compact per-rank counts: distinct labels are few (one per component),
+    # so a dense length-n bincount per rank -- O(P * n) memory and compute
+    # for a mostly-empty map -- is replaced by unique-label counting
+    uniq: list[np.ndarray] = []
+    per_counts: list[np.ndarray] = []
     for rank, blk in enumerate(labels.blocks):
-        counts = np.bincount(blk, minlength=n).astype(np.int64)
-        per_rank_counts.append(counts)
-        world.charge_compute(rank, blk.size + n)
-    scattered = world.comm.reduce_scatter(
-        per_rank_counts, block_sizes=list(grid.vec_sizes(n))
+        u, c = np.unique(blk, return_counts=True)
+        uniq.append(u.astype(np.int64))
+        per_counts.append(c.astype(np.int64))
+        world.charge_compute(rank, blk.size + u.size)
+
+    # every rank learns the union of present labels (sorted); sizes scale
+    # with the number of components, never with P * n
+    union = world.comm.allreduce(uniq, np.union1d)
+    union = np.asarray(union, dtype=np.int64)
+
+    # densify over the compacted union and reduce_scatter with blocks split
+    # by label *owner*, so each rank receives the global totals for exactly
+    # the labels it owns in the vertex space
+    dense: list[np.ndarray] = []
+    for rank in range(P):
+        d = np.zeros(union.size, dtype=np.int64)
+        d[np.searchsorted(union, uniq[rank])] = per_counts[rank]
+        dense.append(d)
+        world.charge_compute(rank, uniq[rank].size)
+    owner = (
+        np.asarray(grid.owner_of_vec(n, union), dtype=np.int64)
+        if union.size
+        else np.empty(0, dtype=np.int64)
     )
-    return DistVector(grid, n, scattered)
+    owner_sizes = np.bincount(owner, minlength=P)
+    scattered = world.comm.reduce_scatter(
+        dense, block_sizes=[int(s) for s in owner_sizes]
+    )
+
+    # scatter the compacted totals back into the vertex-aligned vector
+    out = DistVector.zeros(grid, n, dtype=np.int64)
+    bounds = np.zeros(P + 1, dtype=np.int64)
+    np.cumsum(owner_sizes, out=bounds[1:])
+    for rank in range(P):
+        lo, _hi = grid.vec_block(n, rank)
+        owned = union[bounds[rank] : bounds[rank + 1]]
+        out.blocks[rank][owned - lo] = scattered[rank]
+        world.charge_compute(rank, owned.size)
+    return out

@@ -50,6 +50,14 @@ class ContigSet:
     def count(self) -> int:
         return len(self.contigs)
 
+    @property
+    def n_roots(self) -> int:
+        return sum(r.n_roots for r in self.per_rank)
+
+    @property
+    def n_cycles(self) -> int:
+        return sum(r.n_cycles for r in self.per_rank)
+
     def lengths(self) -> np.ndarray:
         return np.array([c.length for c in self.contigs], dtype=np.int64)
 
@@ -72,6 +80,7 @@ def contig_generation(
     count_limit: int = MPI_COUNT_LIMIT,
     polish: bool = False,
     polish_config=None,
+    assembly_engine: str = "batch",
 ) -> ContigSet:
     """Generate the contig set from the string matrix S and the reads.
 
@@ -80,6 +89,10 @@ def contig_generation(
     polishing phase, localized exactly like the traversal: the exchange
     already placed every contig's reads on its owner rank, so no further
     communication is needed).
+
+    ``assembly_engine`` selects the local traversal implementation
+    (``"batch"`` or ``"scalar"``); both are bit-identical, so the choice
+    never changes the contig set.
     """
     world = S.grid.world
 
@@ -109,7 +122,10 @@ def contig_generation(
         per_rank: list[LocalAssemblyResult] = []
         for rank in range(S.grid.nprocs):
             res = local_assembly(
-                graphs[rank], exchange.shards[rank], emit_cycles=emit_cycles
+                graphs[rank],
+                exchange.shards[rank],
+                emit_cycles=emit_cycles,
+                engine=assembly_engine,
             )
             per_rank.append(res)
             contigs.extend(res.contigs)

@@ -46,6 +46,11 @@ class PipelineConfig:
     partition_method: str = "lpt"
     emit_cycles: bool = False
     count_limit: int = MPI_COUNT_LIMIT
+    # local-assembly traversal implementation: "batch" (vectorized chain
+    # extraction + one strided gather per rank) or "scalar" (the per-vertex
+    # reference walk).  Bit-identical results either way, so -- like
+    # align_batch_size -- this is deliberately not checkpoint-fingerprinted
+    contig_engine: str = "batch"
     # §7 polishing phase: each rank pileup-polishes its own contigs against
     # the reads the sequence exchange already placed on it
     polish: bool = False
@@ -104,6 +109,11 @@ class PipelineConfig:
         if self.align_batch_size < 1:
             raise PipelineError(
                 f"align_batch_size must be >= 1, got {self.align_batch_size}"
+            )
+        if self.contig_engine not in ("batch", "scalar"):
+            raise PipelineError(
+                f"unknown contig_engine {self.contig_engine!r}; "
+                "options: batch, scalar"
             )
         if self.partition_method not in ("lpt", "greedy", "round_robin"):
             raise PipelineError(

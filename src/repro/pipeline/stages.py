@@ -166,8 +166,11 @@ class ExtractContigStage(Stage):
             emit_cycles=config.emit_cycles,
             count_limit=config.count_limit,
             polish=config.polish,
+            assembly_engine=config.contig_engine,
         )
         ctx.counts["contigs"] = contigs.count
+        ctx.counts["contig_roots"] = contigs.n_roots
+        ctx.counts["contig_cycles"] = contigs.n_cycles
         ctx.publish("contigs", contigs)
 
 

@@ -22,7 +22,45 @@ from ..mpi.comm import block_range  # noqa: F401  (re-exported for callers)
 from ..mpi.grid import ProcGrid
 from . import dna
 
-__all__ = ["PackedReads", "DistReadStore"]
+__all__ = ["PackedReads", "DistReadStore", "gather_pieces"]
+
+
+def gather_pieces(
+    buffer: np.ndarray,
+    base: np.ndarray,
+    lengths: np.ndarray,
+    sign: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate strided buffer pieces in one gather.
+
+    Piece ``i`` is ``buffer[base[i] + sign[i] * t]`` for ``t < lengths[i]``
+    (``sign`` defaults to all ``+1``); returns ``(codes, offsets)`` where
+    piece ``i`` occupies ``codes[offsets[i]:offsets[i+1]]``.  This is the
+    array form of the per-read slice loop: one index build and one fancy
+    gather instead of O(pieces) Python slices -- the pattern both
+    :meth:`PackedReads.select` and the batched contig concatenation use.
+    """
+    base = np.asarray(base, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    offsets = np.zeros(lengths.size + 1, dtype=np.int64)
+    np.cumsum(lengths, out=offsets[1:])
+    total = int(offsets[-1])
+    # int32 indices halve the gather's memory traffic; int64 only when the
+    # pool or the expanded index stream could overflow them
+    idtype = np.int32 if max(buffer.size, total) < (1 << 31) - 1 else np.int64
+    # piece i's element j reads base[i] + sign[i]*(j - offsets[i]): folding
+    # the per-piece constant into one repeat keeps this at two expansions
+    if sign is None:
+        idx = np.repeat((base - offsets[:-1]).astype(idtype), lengths)
+        idx += np.arange(total, dtype=idtype)
+    else:
+        sign = np.asarray(sign)
+        idx = np.repeat(sign.astype(idtype), lengths)
+        idx *= np.arange(total, dtype=idtype)
+        idx += np.repeat(
+            (base - sign * offsets[:-1]).astype(idtype), lengths
+        )
+    return buffer[idx], offsets
 
 
 class PackedReads:
@@ -142,8 +180,12 @@ class PackedReads:
     def select(self, local_indices: np.ndarray) -> "PackedReads":
         """New PackedReads containing the given local reads, in order."""
         local_indices = np.asarray(local_indices, dtype=np.int64)
-        pieces = [self.codes(int(i)) for i in local_indices]
-        return PackedReads.from_codes(pieces, self.ids[local_indices])
+        buffer, offsets = gather_pieces(
+            self.buffer,
+            self.offsets[local_indices],
+            self.offsets[local_indices + 1] - self.offsets[local_indices],
+        )
+        return PackedReads(buffer, offsets, self.ids[local_indices].copy())
 
     def __iter__(self):
         for i in range(self.count):

@@ -5,7 +5,8 @@ import numpy as np
 import pytest
 
 from repro.core import connected_components, contig_sizes_distributed
-from repro.sparse import DistSparseMatrix
+from repro.core.ccomp import _shortcut_until_stable
+from repro.sparse import DistSparseMatrix, DistVector
 
 
 def dist_graph(grid, n, edges, dtype=np.int64):
@@ -103,6 +104,72 @@ class TestContigSizes:
         contig_sizes_distributed(labels)
         after = [e.op for e in w.log.events]
         assert "reduce_scatter" in after
+
+    def test_charges_do_not_scale_with_vertex_space(self):
+        """Compacted counts: work and wire volume follow the number of
+        distinct labels, not P * n (the old dense-bincount defect)."""
+        from repro.mpi import ProcGrid, SimWorld, zero_cost
+
+        P, n = 16, 20_000
+        w = SimWorld(P, zero_cost())
+        g = ProcGrid(w)
+        # one giant component plus one singleton: two distinct labels
+        lab = np.zeros(n, dtype=np.int64)
+        lab[-1] = n - 1
+        labels = DistVector.from_global(g, lab)
+        ops = []
+        w.charge_compute = lambda rank, o, kind="default": ops.append(int(o))
+        sizes = contig_sizes_distributed(labels)
+        total_ops = sum(ops)
+        # old implementation charged sum(blk + n) = n + P*n; the compacted
+        # path is O(n + P * distinct)
+        assert total_ops < 2 * n + 64 * P
+        # the reduce_scatter now moves distinct-label counts, not n-vectors
+        ev = [e for e in w.log.events if e.op == "reduce_scatter"][-1]
+        assert ev.total_bytes <= 2 * 8 * P
+        out = sizes.to_global()
+        assert out[0] == n - 1 and out[n - 1] == 1 and out.sum() == n
+
+    def test_shortcut_skips_stable_ranks(self, monkeypatch):
+        """Ranks whose block is known stable stop gathering and stop being
+        charged; the expected per-round charges are pinned exactly."""
+        from repro.mpi import ProcGrid, SimWorld, zero_cost
+
+        w = SimWorld(4, zero_cost())
+        g = ProcGrid(w)
+        # rank 1 holds a 2-deep chain; ranks 0, 2, 3 already point at roots
+        f = DistVector.from_global(
+            g, np.array([0, 0, 1, 2, 4, 4, 4, 4], dtype=np.int64)
+        )
+        request_rounds = []
+        in_gather = {"flag": False}
+        orig_gather = DistVector.gather
+
+        def spy_gather(self, requests):
+            request_rounds.append([int(np.asarray(r).size) for r in requests])
+            in_gather["flag"] = True
+            try:
+                return orig_gather(self, requests)
+            finally:
+                in_gather["flag"] = False
+
+        charges = []
+        orig_charge = w.charge_compute
+
+        def spy_charge(rank, ops, kind="default"):
+            if not in_gather["flag"]:
+                charges.append((rank, int(ops)))
+            return orig_charge(rank, ops, kind=kind)
+
+        monkeypatch.setattr(DistVector, "gather", spy_gather)
+        monkeypatch.setattr(w, "charge_compute", spy_charge)
+        rounds = _shortcut_until_stable(f)
+        assert rounds == 3
+        assert np.array_equal(f.to_global(), [0, 0, 0, 0, 4, 4, 4, 4])
+        # ranks 0, 2, 3 discover stability in round 1 and gather nothing after
+        assert request_rounds == [[2, 2, 2, 2], [0, 2, 0, 0], [0, 2, 0, 0]]
+        # one charge per rank actually comparing/jumping, none once stable
+        assert charges == [(0, 2), (1, 2), (2, 2), (3, 2), (1, 2), (1, 2)]
 
     def test_grid_invariance(self):
         from repro.mpi import ProcGrid, SimWorld, zero_cost

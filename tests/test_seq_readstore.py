@@ -5,6 +5,7 @@ import pytest
 
 from repro.errors import SequenceError
 from repro.seq import DistReadStore, PackedReads, dna
+from repro.seq.readstore import gather_pieces
 
 
 class TestPackedReads:
@@ -56,6 +57,27 @@ class TestPackedReads:
         assert sub.string(0) == "GG"
         assert sub.string(1) == "AA"
         assert list(sub.ids) == [2, 0]
+
+    def test_select_empty_and_duplicates(self):
+        pr = PackedReads.from_strings(["AA", "CCC", ""])
+        assert pr.select(np.empty(0, dtype=np.int64)).count == 0
+        dup = pr.select(np.array([1, 1, 2]))
+        assert [dup.string(i) for i in range(3)] == ["CCC", "CCC", ""]
+
+    def test_gather_pieces_forward_and_strided(self):
+        buf = np.arange(10, dtype=np.uint8)
+        codes, offsets = gather_pieces(
+            buf,
+            base=np.array([0, 9, 4]),
+            lengths=np.array([3, 4, 0]),
+            sign=np.array([1, -1, 1]),
+        )
+        assert offsets.tolist() == [0, 3, 7, 7]
+        assert codes.tolist() == [0, 1, 2, 9, 8, 7, 6]
+        empty_codes, empty_off = gather_pieces(
+            buf, np.empty(0, np.int64), np.empty(0, np.int64)
+        )
+        assert empty_codes.size == 0 and empty_off.tolist() == [0]
 
     def test_empty(self):
         pr = PackedReads.empty()

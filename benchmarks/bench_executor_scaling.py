@@ -1,0 +1,150 @@
+"""Bench: serial vs thread executor backends on map_ranks supersteps.
+
+The executor API (:mod:`repro.mpi.executor`) decouples a superstep's
+per-rank compute from the loop that runs it.  This bench drives a
+pipeline-shaped superstep -- each rank sorts, joins and reduces NumPy
+arrays, the kind of GIL-releasing kernel every stage bottoms out in --
+through both backends at P in {4, 16, 64} and records supersteps/sec into
+``BENCH_executor.json``.
+
+Modeled seconds are identical across backends by construction (asserted
+here and property-tested in ``tests/test_executor.py``); what the thread
+backend changes is *wall-clock* on multi-core hosts.  On a single-core
+runner the thread backend only pays pool overhead, so the trajectory
+records throughput without asserting a speedup -- the ``smoke`` tests
+assert the equivalence contract instead, and run in CI.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench import render_matrix
+from repro.mpi import SimWorld, cori_haswell
+
+BENCH_JSON = Path(__file__).parent / "BENCH_executor.json"
+
+
+def make_rank_payloads(nprocs, elems_per_rank, seed=29):
+    """Per-rank arrays shaped like a superstep's local blocks."""
+    rng = np.random.default_rng(seed)
+    return [
+        rng.integers(0, 1 << 20, size=elems_per_rank).astype(np.int64)
+        for _ in range(nprocs)
+    ]
+
+
+def superstep(ctx, arr):
+    """One rank's local work: sort + self-join + reduction (NumPy-bound)."""
+    s = np.sort(arr)
+    hits = np.searchsorted(s, arr)
+    total = int(np.take(s, np.clip(hits, 0, s.size - 1)).sum())
+    ctx.charge_compute(arr.size)
+    ctx.observe_memory(float(arr.nbytes * 2))
+    return total
+
+
+def _supersteps_per_sec(world, payloads, repeats):
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        world.map_ranks(superstep, payloads)
+        times.append(time.perf_counter() - t0)
+    return 1.0 / min(times)
+
+
+def measure_backends(nprocs, elems_per_rank=200_000, repeats=5):
+    """Supersteps/sec for both backends on identical per-rank payloads."""
+    payloads = make_rank_payloads(nprocs, elems_per_rank)
+    out = {"nprocs": nprocs, "elems_per_rank": elems_per_rank}
+    results = {}
+    for backend in ("serial", "thread"):
+        world = SimWorld(nprocs, cori_haswell(), executor=backend)
+        world.map_ranks(superstep, payloads)  # warm pool + page cache
+        out[f"{backend}_supersteps_per_sec"] = round(
+            _supersteps_per_sec(world, payloads, repeats), 2
+        )
+        results[backend] = world.map_ranks(superstep, payloads)
+    # the backends must agree on every rank's result
+    assert results["serial"] == results["thread"]
+    out["thread_vs_serial"] = round(
+        out["thread_supersteps_per_sec"] / out["serial_supersteps_per_sec"], 2
+    )
+    return out
+
+
+def append_trajectory(datapoints):
+    history = []
+    if BENCH_JSON.exists():
+        history = json.loads(BENCH_JSON.read_text()).get("history", [])
+    history.append({"date": time.strftime("%Y-%m-%d"), "results": datapoints})
+    BENCH_JSON.write_text(
+        json.dumps(
+            {"bench": "serial_vs_thread_supersteps_per_sec", "history": history},
+            indent=2,
+        )
+        + "\n"
+    )
+
+
+def test_bench_executor_scaling(write_artifact):
+    """Serial-vs-thread supersteps/sec at P in {4, 16, 64}, recorded over time."""
+    results = [measure_backends(P) for P in (4, 16, 64)]
+    rows = [
+        (
+            f"P={r['nprocs']}",
+            [
+                r["serial_supersteps_per_sec"],
+                r["thread_supersteps_per_sec"],
+                r["thread_vs_serial"],
+            ],
+        )
+        for r in results
+    ]
+    text = render_matrix(
+        "Executor backends -- supersteps/sec (thread wall-clock vs serial)",
+        ["serial ss/s", "thread ss/s", "ratio"],
+        rows,
+    )
+    write_artifact("bench_executor_scaling", text)
+    append_trajectory(results)
+    for r in results:
+        assert r["serial_supersteps_per_sec"] > 0
+        assert r["thread_supersteps_per_sec"] > 0
+
+
+# -- CI smoke: backends must be observationally identical -----------------
+
+
+def _run_superstep_world(backend, nprocs=16):
+    payloads = make_rank_payloads(nprocs, elems_per_rank=2_000)
+    world = SimWorld(nprocs, cori_haswell(), executor=backend)
+    with world.stage_scope("Bench"):
+        results = world.map_ranks(superstep, payloads)
+    return world, results
+
+
+def test_smoke_map_ranks_backends_identical():
+    """Results, clocks and memory peaks match across executor backends."""
+    ws, rs = _run_superstep_world("serial")
+    wt, rt = _run_superstep_world("thread")
+    assert rs == rt
+    assert ws.clock.stages() == wt.clock.stages()
+    assert np.array_equal(
+        ws.clock.per_rank_seconds("Bench"), wt.clock.per_rank_seconds("Bench")
+    )
+    assert ws.memory.by_stage() == wt.memory.by_stage()
+
+
+def test_smoke_map_ranks_rank_order():
+    """Thread-backend results arrive in rank order even when ranks finish
+    out of order."""
+    world = SimWorld(8, executor="thread")
+
+    def staggered(ctx):
+        time.sleep(0.001 * (8 - int(ctx)))
+        return int(ctx)
+
+    assert world.map_ranks(staggered) == list(range(8))

@@ -38,7 +38,13 @@ def main() -> None:
     print(f"simulated {reads.count} reads "
           f"({reads.depth():.1f}x coverage, mean {reads.mean_length():.0f} bp)")
 
-    # 2. run the stage pipeline on a simulated 2x2 process grid
+    # 2. run the stage pipeline on a simulated 2x2 process grid.
+    #    PipelineConfig(executor=...) picks the per-rank compute backend:
+    #    "serial" (the default) or "thread" (a worker pool; NumPy kernels
+    #    release the GIL, so wall-clock drops on multi-core hosts while
+    #    modeled seconds and every artifact stay bit-identical).  Left
+    #    unset here so the REPRO_EXECUTOR env var (or --executor on the
+    #    CLI) picks the backend: try REPRO_EXECUTOR=thread.
     config = PipelineConfig(
         nprocs=4,
         k=21,

@@ -34,6 +34,7 @@ payloads as plain field arrays ready for one structured fill.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -159,18 +160,21 @@ GAPLESS_STRIPE = 128
 # which is a large fraction of the kernel cost.  Keyed by role; grown
 # geometrically and re-typed on demand.  Sized by pairs-per-batch times
 # stripe width, so the caller's batch size bounds the footprint.
-# NOTE: shared mutable state — the gapless kernel is therefore not
-# reentrant.  The simulated-MPI runtime is strictly single-threaded; a
-# future concurrent executor must make this thread-local.
-_SCRATCH: dict = {}
+# Thread-local: the executor's thread backend runs one rank's batches per
+# worker thread, and each worker needs its own workspace for the gapless
+# kernel to stay reentrant.
+_SCRATCH = threading.local()
 
 
 def _scratch(key: str, dtype: np.dtype, rows: int, cols: int) -> np.ndarray:
+    table = getattr(_SCRATCH, "arrays", None)
+    if table is None:
+        table = _SCRATCH.arrays = {}
     need = rows * cols
-    arr = _SCRATCH.get(key)
+    arr = table.get(key)
     if arr is None or arr.dtype != dtype or arr.size < need:
         arr = np.empty(max(need + (need >> 2), 1), dtype=dtype)
-        _SCRATCH[key] = arr
+        table[key] = arr
     return arr[:need].reshape(rows, cols)
 
 

@@ -205,7 +205,9 @@ def main(argv: list[str] | None = None, out=None) -> int:
             contigs = polished.contigs
         seqs = [c.codes for c in contigs]
         if args.scaffold:
-            scaffolded = scaffold_contigs(seqs, ScaffoldConfig())
+            scaffolded = scaffold_contigs(
+                seqs, ScaffoldConfig(executor=cfg.executor)
+            )
             print(
                 f"scaffold: {len(seqs)} contigs -> {scaffolded.count} "
                 f"in {scaffolded.n_rounds} round(s)",
@@ -213,7 +215,9 @@ def main(argv: list[str] | None = None, out=None) -> int:
             )
             seqs = scaffolded.contigs
         if args.gap_fill:
-            filled = gap_fill(seqs, reads, ScaffoldConfig(min_overlap=25))
+            filled = gap_fill(
+                seqs, reads, ScaffoldConfig(min_overlap=25, executor=cfg.executor)
+            )
             print(
                 f"gap-fill: {len(seqs)} contigs -> {filled.count}",
                 file=out,

@@ -5,6 +5,7 @@ from __future__ import annotations
 import argparse
 
 from ..mpi.costmodel import MACHINE_PRESETS
+from ..mpi.executor import EXECUTOR_BACKENDS
 from ..pipeline import PipelineConfig
 from ..seq.datasets import PRESETS
 
@@ -89,6 +90,11 @@ def add_pipeline_args(parser: argparse.ArgumentParser) -> None:
         help="local-assembly traversal: vectorized batch or scalar reference",
     )
     parser.add_argument(
+        "--executor", choices=tuple(EXECUTOR_BACKENDS), default=None,
+        help="per-rank compute backend: serial loop or thread pool "
+        "(outputs are bit-identical; default from $REPRO_EXECUTOR)",
+    )
+    parser.add_argument(
         "--memory-mode", choices=("fast", "low"), default="fast",
         help="SpGEMM accumulation strategy (low = stream merge)",
     )
@@ -121,4 +127,6 @@ def build_pipeline_config(args, ds=None) -> PipelineConfig:
         cfg.align_batch_size = args.align_batch_size
     if getattr(args, "contig_engine", None) is not None:
         cfg.contig_engine = args.contig_engine
+    if getattr(args, "executor", None) is not None:
+        cfg.executor = args.executor
     return cfg

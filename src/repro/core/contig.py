@@ -118,38 +118,39 @@ def contig_generation(
         exchange = exchange_sequences(reads, p, count_limit=count_limit)
 
     with world.stage_scope(f"{STAGE_PREFIX}/LocalAssembly"):
-        contigs: list[Contig] = []
-        per_rank: list[LocalAssemblyResult] = []
-        for rank in range(S.grid.nprocs):
+        # the traversal superstep: every rank walks its own induced
+        # subgraph through the executor backend
+        def _assemble_step(ctx, graph, shard):
             res = local_assembly(
-                graphs[rank],
-                exchange.shards[rank],
-                emit_cycles=emit_cycles,
-                engine=assembly_engine,
+                graph, shard, emit_cycles=emit_cycles, engine=assembly_engine
             )
-            per_rank.append(res)
-            contigs.extend(res.contigs)
-            ops = graphs[rank].coo.nnz + sum(c.length for c in res.contigs)
-            world.charge_compute(rank, ops)
+            ctx.charge_compute(
+                graph.coo.nnz + sum(c.length for c in res.contigs)
+            )
+            return res
+
+        per_rank: list[LocalAssemblyResult] = world.map_ranks(
+            _assemble_step, graphs, exchange.shards
+        )
+        contigs: list[Contig] = [c for res in per_rank for c in res.contigs]
 
     if polish:
         # deferred import: scaffold builds on core, not the reverse
         from ..scaffold.polish import polish_packed
 
         with world.stage_scope(f"{STAGE_PREFIX}/Polish"):
-            contigs = []
-            for rank in range(S.grid.nprocs):
-                res = per_rank[rank]
+
+            def _polish_step(ctx, res, shard):
                 if not res.contigs:
-                    continue
-                polished, stats = polish_packed(
-                    res.contigs, exchange.shards[rank], polish_config
-                )
+                    return res
+                polished, stats = polish_packed(res.contigs, shard, polish_config)
                 res.contigs = polished
-                contigs.extend(polished)
                 # pileup cost: one vote per covered base per mapped read
-                ops = sum(s.mean_depth * s.length for s in stats)
-                world.charge_compute(rank, ops)
+                ctx.charge_compute(sum(s.mean_depth * s.length for s in stats))
+                return res
+
+            per_rank = world.map_ranks(_polish_step, per_rank, exchange.shards)
+            contigs = [c for res in per_rank for c in res.contigs]
 
     return ContigSet(
         contigs=contigs,

@@ -71,31 +71,35 @@ class KmerTable:
         """
         grid, world = self.grid, self.grid.world
         P = grid.nprocs
-        send: list[list[np.ndarray]] = [[None] * P for _ in range(P)]
-        perms = []
-        for r in range(P):
-            vals = np.asarray(requests[r], dtype=np.uint64)
+
+        # local superstep: split each rank's requests by owner
+        def _split_step(ctx, req):
+            vals = np.asarray(req, dtype=np.uint64)
             owner = _owner_of(vals, P)
             perm = np.argsort(owner, kind="stable")
-            perms.append(perm)
             svals, sowner = vals[perm], owner[perm]
             counts = np.bincount(sowner, minlength=P)
             bounds = np.zeros(P + 1, dtype=np.int64)
             np.cumsum(counts, out=bounds[1:])
-            for o in range(P):
-                send[r][o] = svals[bounds[o] : bounds[o + 1]]
-            world.charge_compute(r, vals.size)
-        recv = world.comm.alltoall(send)
-        reply: list[list[np.ndarray]] = [[None] * P for _ in range(P)]
-        for o in range(P):
-            table = self.kmers_by_owner[o]
-            base = self.offsets[o]
-            for r in range(P):
-                vals = recv[o][r]
+            ctx.charge_compute(vals.size)
+            return perm, [svals[bounds[o] : bounds[o + 1]] for o in range(P)]
+
+        split = world.map_ranks(_split_step, requests)
+        perms = [perm for perm, _rows in split]
+        recv = world.comm.alltoall([rows for _perm, rows in split])
+
+        # owner superstep: bisect the sorted tables
+        def _bisect_step(ctx, received, table, base):
+            reply_row = []
+            for vals in received:
                 hit, pos = sorted_lookup(table, vals)
-                ids = np.where(hit, base + pos, np.int64(-1))
-                reply[o][r] = ids.astype(np.int64)
-            world.charge_compute(o, sum(v.size for v in recv[o]))
+                reply_row.append(np.where(hit, base + pos, np.int64(-1)).astype(np.int64))
+            ctx.charge_compute(sum(v.size for v in received))
+            return reply_row
+
+        reply = world.map_ranks(
+            _bisect_step, recv, self.kmers_by_owner, list(self.offsets[:P])
+        )
         answers = world.comm.alltoall(reply)
         out = []
         for r in range(P):
@@ -137,10 +141,10 @@ def count_kmers(
     grid, world = reads.grid, reads.grid.world
     P = grid.nprocs
 
-    # 1-2) extract canonical k-mers and route to hash owners
-    send: list[list[np.ndarray]] = [[None] * P for _ in range(P)]
-    for r in range(P):
-        shard = reads.shards[r]
+    # 1-2) extract canonical k-mers and route to hash owners.  Both local
+    # supersteps (extraction and counting) run through the executor
+    # backend; outputs and charges are independent of it.
+    def _extract_step(ctx, shard):
         parts = []
         for i in range(shard.count):
             kmers = encode_kmers(shard.codes(i), k)
@@ -156,17 +160,15 @@ def count_kmers(
         counts = np.bincount(owner, minlength=P)
         bounds = np.zeros(P + 1, dtype=np.int64)
         np.cumsum(counts, out=bounds[1:])
-        for o in range(P):
-            send[r][o] = mine[bounds[o] : bounds[o + 1]]
-        world.charge_compute(r, shard.total_bases * 2)
+        ctx.charge_compute(shard.total_bases * 2)
+        return [mine[bounds[o] : bounds[o + 1]] for o in range(P)]
+
+    send = world.map_ranks(_extract_step, reads.shards)
     recv = world.comm.alltoall(send)
 
     # 3) owners count and filter
-    kmers_by_owner: list[np.ndarray] = []
-    counts_by_owner: list[np.ndarray] = []
-    retained = np.zeros(P, dtype=np.int64)
-    for o in range(P):
-        pieces = [p for p in recv[o] if p.size]
+    def _count_step(ctx, received):
+        pieces = [p for p in received if p.size]
         if pieces:
             allk = np.concatenate(pieces)
             uniq, cnt = np.unique(allk, return_counts=True)
@@ -177,10 +179,13 @@ def count_kmers(
         else:
             uniq = np.empty(0, dtype=np.uint64)
             cnt = np.empty(0, dtype=np.int64)
-        kmers_by_owner.append(uniq)
-        counts_by_owner.append(cnt.astype(np.int64))
-        retained[o] = uniq.size
-        world.charge_compute(o, sum(p.size for p in recv[o]) + uniq.size)
+        ctx.charge_compute(sum(p.size for p in received) + uniq.size)
+        return uniq, cnt.astype(np.int64)
+
+    counted = world.map_ranks(_count_step, recv)
+    kmers_by_owner = [uniq for uniq, _cnt in counted]
+    counts_by_owner = [cnt for _uniq, cnt in counted]
+    retained = np.array([uniq.size for uniq in kmers_by_owner], dtype=np.int64)
 
     # 4) global contiguous ids via exclusive scan (allgather of counts)
     gathered = world.comm.allgather([int(x) for x in retained])

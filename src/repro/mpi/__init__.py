@@ -8,6 +8,16 @@ process grid (:class:`ProcGrid`), machine cost models, and instrumentation.
 
 from .bigcount import MPI_COUNT_LIMIT, TransferPlan, chunk_buffer, plan_transfer, reassemble
 from .comm import SimComm, SimWorld, block_owner, block_range, block_sizes, payload_nbytes
+from .executor import (
+    EXECUTOR_BACKENDS,
+    Executor,
+    RankContext,
+    RankStep,
+    SerialExecutor,
+    ThreadExecutor,
+    default_executor,
+    make_executor,
+)
 from .costmodel import (
     MACHINE_PRESETS,
     MachineModel,
@@ -23,6 +33,14 @@ from .stats import CommEvent, CommLog, StageClock, TimingReport
 __all__ = [
     "SimWorld",
     "SimComm",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "RankContext",
+    "RankStep",
+    "EXECUTOR_BACKENDS",
+    "make_executor",
+    "default_executor",
     "ProcGrid",
     "MachineModel",
     "cori_haswell",

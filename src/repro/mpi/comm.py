@@ -19,6 +19,7 @@ buffers as owned data.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Sequence
 
@@ -26,6 +27,7 @@ import numpy as np
 
 from ..errors import CommunicatorError
 from .costmodel import MachineModel, zero_cost
+from .executor import Executor, RankContext, RankStep, make_executor
 from .memory import MemoryMeter
 from .stats import CommEvent, CommLog, StageClock
 
@@ -98,9 +100,21 @@ def block_owner(n: int, parts: int, index: np.ndarray | int):
 
 
 class SimWorld:
-    """The simulated machine: P ranks, a cost model, clocks and logs."""
+    """The simulated machine: P ranks, a cost model, clocks and logs.
 
-    def __init__(self, nprocs: int, machine: MachineModel | None = None) -> None:
+    ``executor`` selects the backend that runs per-rank local compute
+    submitted through :meth:`map_ranks` -- ``"serial"`` (the default,
+    classic in-order semantics) or ``"thread"`` (a ``concurrent.futures``
+    pool; NumPy kernels release the GIL).  Backends are observationally
+    identical: artifacts, clocks and logs do not depend on the choice.
+    """
+
+    def __init__(
+        self,
+        nprocs: int,
+        machine: MachineModel | None = None,
+        executor: "str | Executor" = "serial",
+    ) -> None:
         if nprocs < 1:
             raise CommunicatorError(f"world size must be >= 1, got {nprocs}")
         self.nprocs = nprocs
@@ -108,10 +122,33 @@ class SimWorld:
         self.clock = StageClock(nprocs)
         self.log = CommLog()
         self.memory = MemoryMeter(nprocs)
-        self._stage_stack: list[str] = ["default"]
+        #: one lock funnels every clock/log/memory mutation, so collectives
+        #: and charges issued from executor worker threads cannot corrupt
+        #: the shared accounting state
+        self.account_lock = threading.RLock()
+        self._stage_local = threading.local()
+        self._stage_local.stack = ["default"]
+        self._in_rank_step = threading.local()
+        self._executor = make_executor(executor)
         self.comm = SimComm(self, list(range(nprocs)), label="world")
 
     # -- stage scoping ----------------------------------------------------
+    @property
+    def _stage_stack(self) -> list[str]:
+        """The calling thread's stage stack.
+
+        Each thread scopes independently: a worker thread that never
+        opened a scope charges to ``"default"`` rather than racing on the
+        main thread's stack.  (Rank steps should scope via their
+        :class:`~repro.mpi.executor.RankContext`, which snapshots the
+        submitting thread's stack instead.)
+        """
+        stack = getattr(self._stage_local, "stack", None)
+        if stack is None:
+            stack = ["default"]
+            self._stage_local.stack = stack
+        return stack
+
     @property
     def stage(self) -> str:
         return self._stage_stack[-1]
@@ -119,35 +156,118 @@ class SimWorld:
     @contextmanager
     def stage_scope(self, name: str) -> Iterator[None]:
         """Attribute all charges inside the block to pipeline stage ``name``."""
-        self._stage_stack.append(name)
+        stack = self._stage_stack
+        stack.append(name)
         try:
             yield
         finally:
-            self._stage_stack.pop()
+            stack.pop()
+
+    # -- per-rank compute (the executor API) -------------------------------
+    @property
+    def executor(self) -> Executor:
+        """The backend running :meth:`map_ranks` supersteps."""
+        return self._executor
+
+    def use_executor(self, spec: "str | Executor") -> None:
+        """Swap the per-rank compute backend (``"serial"``/``"thread"``).
+
+        The replaced executor is shut down so a retired thread pool's
+        workers exit deterministically rather than waiting for GC
+        (``shutdown`` is idempotent and pools rebuild lazily on reuse).
+        """
+        new = make_executor(spec)
+        if new is not self._executor:
+            self._executor.shutdown()
+        self._executor = new
+
+    def map_ranks(self, fn: RankStep, *per_rank_args: Sequence[Any]) -> list[Any]:
+        """Run ``fn(ctx, *args)`` for every rank through the executor.
+
+        Each of ``per_rank_args`` is a length-``nprocs`` sequence; rank
+        ``r`` receives entry ``r`` of every sequence.  ``ctx`` is a
+        :class:`~repro.mpi.executor.RankContext` -- the rank id itself,
+        plus ``charge_compute`` / ``observe_memory`` / ``stage_scope``
+        methods that buffer cost accounting per rank and merge it into
+        the world's clocks in rank order once all ranks finish.  Results
+        come back in rank order regardless of backend, so a superstep
+        behaves identically under ``serial`` and ``thread`` execution.
+
+        Accounting is transactional per superstep: if any rank's step
+        raises, the exception propagates (lowest failing rank first,
+        after all ranks drain) and *no* buffered charges are merged --
+        a failed superstep charges nothing on either backend.
+        """
+        # nesting is always a bug: a step calling map_ranks would deadlock
+        # a saturated thread pool instead of failing cleanly
+        self._check_not_in_rank_step("SimWorld.map_ranks")
+        for pos, seq in enumerate(per_rank_args):
+            if len(seq) != self.nprocs:
+                raise CommunicatorError(
+                    f"map_ranks arg {pos} expects {self.nprocs} per-rank "
+                    f"entries, got {len(seq)}"
+                )
+        base_stage = tuple(self._stage_stack)
+        ctxs = [RankContext(self, r, base_stage) for r in range(self.nprocs)]
+        tasks = [
+            (ctxs[r], tuple(seq[r] for seq in per_rank_args))
+            for r in range(self.nprocs)
+        ]
+
+        # while a step runs, direct world accounting is an error on BOTH
+        # backends (under threads it would silently mis-attribute stages;
+        # raising keeps the backend-identical contract enforceable)
+        def _guarded(ctx, *args):
+            prior = getattr(self._in_rank_step, "active", False)
+            self._in_rank_step.active = True
+            try:
+                return fn(ctx, *args)
+            finally:
+                self._in_rank_step.active = prior
+
+        results = self._executor.run(_guarded, tasks)
+        for ctx in ctxs:
+            ctx._merge()
+        return results
+
+    def _check_not_in_rank_step(self, what: str) -> None:
+        if getattr(self._in_rank_step, "active", False):
+            raise CommunicatorError(
+                f"{what} is not allowed inside a map_ranks step; charge "
+                f"through the RankContext (ctx.charge_compute / "
+                f"ctx.observe_memory) and keep collectives between supersteps"
+            )
 
     # -- compute charging ---------------------------------------------------
     def charge_compute(self, rank: int, ops: float, kind: str = "default") -> None:
         """Charge ``ops`` elementary operations of local work to one rank."""
+        self._check_not_in_rank_step("SimWorld.charge_compute")
         seconds = self.machine.op_time(ops, kind=kind)
         if seconds:
-            self.clock.charge_compute(self.stage, rank, seconds)
+            with self.account_lock:
+                self.clock.charge_compute(self.stage, rank, seconds)
 
     def charge_compute_all(self, ops_per_rank: Sequence[float], kind: str = "default") -> None:
-        """Charge per-rank op counts in one call."""
+        """Charge per-rank op counts in one vectorized clock call."""
+        self._check_not_in_rank_step("SimWorld.charge_compute_all")
         if len(ops_per_rank) != self.nprocs:
             raise CommunicatorError(
                 f"expected {self.nprocs} op counts, got {len(ops_per_rank)}"
             )
-        for rank, ops in enumerate(ops_per_rank):
-            self.charge_compute(rank, ops, kind=kind)
+        seconds = self.machine.op_time_all(ops_per_rank, kind=kind)
+        if seconds.any():
+            with self.account_lock:
+                self.clock.charge_compute_all(self.stage, seconds)
 
     def observe_memory(self, rank: int, nbytes: float) -> None:
         """Record one working-set sample under the current stage, scaled by
         the machine's ``volume_scale`` (modeled bytes extrapolate to paper-
         sized inputs the same way modeled seconds do)."""
-        self.memory.observe(
-            rank, nbytes * self.machine.volume_scale, stage=self.stage
-        )
+        self._check_not_in_rank_step("SimWorld.observe_memory")
+        with self.account_lock:
+            self.memory.observe(
+                rank, nbytes * self.machine.volume_scale, stage=self.stage
+            )
 
     def subcomm(self, ranks: Sequence[int], label: str = "sub") -> "SimComm":
         """Create a communicator over a subset of world ranks."""
@@ -199,18 +319,25 @@ class SimComm:
             seconds = machine.ptp_time(total_bytes, messages)
         else:
             seconds = machine.collective_time(op, self.size, total_bytes, max_bytes)
-        self.world.clock.charge_comm_all(self.world.stage, seconds, ranks=self.ranks)
-        self.world.log.record(
-            CommEvent(
-                op=op,
-                stage=self.world.stage,
-                nprocs=self.size,
-                total_bytes=int(total_bytes),
-                max_bytes=int(max_bytes),
-                messages=messages,
-                modeled_seconds=seconds,
+        # collectives are whole-world lockstep operations: between
+        # supersteps only, never inside a rank step
+        self.world._check_not_in_rank_step(f"collective {op!r}")
+        # clock + log mutate under one lock so a collective issued from an
+        # executor worker thread cannot interleave with another charge
+        with self.world.account_lock:
+            stage = self.world.stage
+            self.world.clock.charge_comm_all(stage, seconds, ranks=self.ranks)
+            self.world.log.record(
+                CommEvent(
+                    op=op,
+                    stage=stage,
+                    nprocs=self.size,
+                    total_bytes=int(total_bytes),
+                    max_bytes=int(max_bytes),
+                    messages=messages,
+                    modeled_seconds=seconds,
+                )
             )
-        )
 
     # -- collectives -----------------------------------------------------
     def barrier(self) -> None:
@@ -302,11 +429,16 @@ class SimComm:
         a nested grid layout pass their own block sizes).
         """
         self._check_input(per_rank_arrays, "reduce_scatter")
-        if block_sizes is not None and len(block_sizes) != self.size:
-            raise CommunicatorError(
-                f"reduce_scatter expects {self.size} block sizes, "
-                f"got {len(block_sizes)}"
-            )
+        if block_sizes is not None:
+            if len(block_sizes) != self.size:
+                raise CommunicatorError(
+                    f"reduce_scatter expects {self.size} block sizes, "
+                    f"got {len(block_sizes)}"
+                )
+            if any(int(s) < 0 for s in block_sizes):
+                raise CommunicatorError(
+                    f"reduce_scatter block sizes must be >= 0, got {list(block_sizes)}"
+                )
         first = np.asarray(per_rank_arrays[0])
         total = first.copy()
         for arr in per_rank_arrays[1:]:

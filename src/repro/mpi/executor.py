@@ -1,0 +1,262 @@
+"""Pluggable executor backends for per-rank (SPMD) local compute.
+
+Every superstep of the simulated pipeline has the same shape: each rank
+performs *local* work on its own block, then a collective moves data
+between ranks.  The collectives were always centralized in
+:class:`~repro.mpi.comm.SimComm`; this module centralizes the other half.
+A superstep's per-rank work is expressed as data -- a :data:`RankStep`
+callable plus per-rank argument lists -- and
+:meth:`~repro.mpi.comm.SimWorld.map_ranks` runs it through one of the
+:class:`Executor` backends registered here:
+
+* ``serial`` -- the classic semantics: ranks run one after another on the
+  calling thread (the default, and the reference behavior);
+* ``thread`` -- ranks run concurrently on a ``concurrent.futures`` thread
+  pool.  The heavy per-rank kernels are NumPy calls that release the GIL,
+  so on a multi-core host the simulator's wall-clock time drops while
+  *modeled* seconds stay untouched.
+
+Backends must be observationally identical: results come back in rank
+order, and all cost accounting (compute charges, memory observations,
+stage attribution) is buffered per rank in a :class:`RankContext` and
+merged into the world's clocks in rank order at the superstep barrier.
+A pipeline run therefore produces bit-identical artifacts and identical
+:class:`~repro.mpi.stats.StageClock` / :class:`~repro.mpi.stats.CommLog`
+contents whichever backend executes it.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor, wait
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Protocol, Sequence
+
+from ..errors import CommunicatorError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .comm import SimWorld
+
+__all__ = [
+    "RankContext",
+    "RankStep",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "EXECUTOR_BACKENDS",
+    "make_executor",
+    "default_executor",
+]
+
+
+class RankContext(int):
+    """One rank's view of a superstep: its id plus buffered accounting.
+
+    The context *is* the rank id (an ``int`` subclass), so step functions
+    can index per-rank state with it directly.  Cost accounting goes
+    through the context instead of the world: charges and memory samples
+    are buffered locally (no shared mutable state while ranks may be
+    running on worker threads) and merged into the world's
+    :class:`~repro.mpi.stats.StageClock` / memory meter in rank order at
+    the superstep barrier -- making accounting bit-identical across
+    executor backends.
+
+    Collectives are whole-world lockstep operations and must not be
+    issued from inside a rank step; they belong between supersteps.
+    """
+
+    def __new__(cls, world: "SimWorld", rank: int, base_stage: Sequence[str]):
+        self = super().__new__(cls, rank)
+        self._world = world
+        self._stack = list(base_stage)
+        self._compute: list[tuple[str, float]] = []
+        self._memory: list[tuple[str, float]] = []
+        return self
+
+    @property
+    def rank(self) -> int:
+        return int(self)
+
+    @property
+    def world(self) -> "SimWorld":
+        return self._world
+
+    @property
+    def stage(self) -> str:
+        """The stage charges are currently attributed to (innermost scope)."""
+        return self._stack[-1]
+
+    @contextmanager
+    def stage_scope(self, name: str) -> Iterator[None]:
+        """Attribute this rank's charges inside the block to stage ``name``.
+
+        Nested scopes compose exactly like
+        :meth:`~repro.mpi.comm.SimWorld.stage_scope`, but the stack is
+        private to the rank, so concurrently running steps never see each
+        other's scopes.
+        """
+        self._stack.append(name)
+        try:
+            yield
+        finally:
+            self._stack.pop()
+
+    def charge_compute(self, ops: float, kind: str = "default") -> None:
+        """Charge ``ops`` elementary operations of local work to this rank."""
+        seconds = self._world.machine.op_time(ops, kind=kind)
+        if seconds:
+            self._compute.append((self.stage, seconds))
+
+    def observe_memory(self, nbytes: float) -> None:
+        """Record one working-set sample for this rank under the current stage."""
+        self._memory.append((self.stage, nbytes))
+
+    def _merge(self) -> None:
+        """Apply the buffered charges to the world (rank-ordered barrier merge)."""
+        world = self._world
+        scale = world.machine.volume_scale
+        rank = int(self)
+        with world.account_lock:
+            for stage, seconds in self._compute:
+                world.clock.charge_compute(stage, rank, seconds)
+            for stage, nbytes in self._memory:
+                world.memory.observe(rank, nbytes * scale, stage=stage)
+        self._compute.clear()
+        self._memory.clear()
+
+
+class RankStep(Protocol):
+    """The superstep protocol: one rank's local work.
+
+    Called once per rank as ``step(ctx, *args)`` where ``ctx`` is the
+    :class:`RankContext` (usable directly as the rank integer) and
+    ``args`` are that rank's entries of the per-rank argument lists given
+    to :meth:`~repro.mpi.comm.SimWorld.map_ranks`.  The return value is
+    collected in rank order.  Steps must only touch rank-private state
+    (their arguments, their own slot of any shared list) and must route
+    all cost accounting through ``ctx``.
+    """
+
+    def __call__(self, ctx: RankContext, *args: Any) -> Any: ...
+
+
+class Executor:
+    """Strategy for running one superstep's rank tasks."""
+
+    name: str = ""
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        tasks: Sequence[tuple[RankContext, tuple]],
+    ) -> list[Any]:
+        """Run ``fn(ctx, *args)`` for every task; results in task order."""
+        raise NotImplementedError
+
+    def shutdown(self) -> None:
+        """Release backend resources (worker threads); idempotent."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class SerialExecutor(Executor):
+    """The reference backend: ranks run in order on the calling thread."""
+
+    name = "serial"
+
+    def run(self, fn, tasks):
+        return [fn(ctx, *args) for ctx, args in tasks]
+
+
+class ThreadExecutor(Executor):
+    """Concurrent backend on a ``concurrent.futures`` thread pool.
+
+    The pool is created lazily and reused across supersteps.  NumPy
+    kernels release the GIL, so per-rank work overlaps on multi-core
+    hosts; pure-Python sections serialize but stay correct.  Results are
+    collected in rank order and an exception from the lowest-ranked
+    failing task propagates, matching the serial backend.
+    """
+
+    name = "thread"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise CommunicatorError(
+                f"thread executor needs >= 1 workers, got {max_workers}"
+            )
+        self.max_workers = max_workers
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            workers = self.max_workers or (os.cpu_count() or 1)
+            self._pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-rank"
+            )
+        return self._pool
+
+    def run(self, fn, tasks):
+        if len(tasks) <= 1:
+            return [fn(ctx, *args) for ctx, args in tasks]
+        pool = self._ensure_pool()
+        futures = [pool.submit(fn, ctx, *args) for ctx, args in tasks]
+        # drain every future before propagating a failure: no orphan rank
+        # step keeps mutating shared per-rank state after the error
+        # surfaces, and the lowest-ranked exception wins (the one the
+        # serial backend would have raised)
+        wait(futures)
+        for f in futures:
+            exc = f.exception()
+            if exc is not None:
+                raise exc
+        return [f.result() for f in futures]
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+#: Registered backend names, in documentation order.
+EXECUTOR_BACKENDS = ("serial", "thread")
+
+_EXECUTOR_CLASSES: dict[str, type[Executor]] = {
+    SerialExecutor.name: SerialExecutor,
+    ThreadExecutor.name: ThreadExecutor,
+}
+
+# one shared instance per backend name: every world resolving "thread"
+# reuses the same lazily-built pool, bounding worker threads process-wide
+# no matter how many SimWorlds a session creates (pools rebuild lazily
+# after shutdown, so sharing is safe across world lifetimes)
+_DEFAULT_INSTANCES: dict[str, Executor] = {}
+
+
+def make_executor(spec: "str | Executor") -> Executor:
+    """Resolve an executor spec to an instance.
+
+    Backend *names* resolve to a process-shared default instance; pass a
+    constructed :class:`Executor` (e.g. ``ThreadExecutor(max_workers=2)``)
+    for a private one.
+    """
+    if isinstance(spec, Executor):
+        return spec
+    try:
+        cls = _EXECUTOR_CLASSES[spec]
+    except (KeyError, TypeError):
+        raise CommunicatorError(
+            f"unknown executor backend {spec!r}; options: "
+            f"{list(EXECUTOR_BACKENDS)}"
+        ) from None
+    inst = _DEFAULT_INSTANCES.get(spec)
+    if inst is None:
+        inst = _DEFAULT_INSTANCES[spec] = cls()
+    return inst
+
+
+def default_executor() -> str:
+    """The default backend name; the ``REPRO_EXECUTOR`` env var overrides
+    it (how CI runs the whole suite under the thread backend)."""
+    return os.environ.get("REPRO_EXECUTOR", SerialExecutor.name)

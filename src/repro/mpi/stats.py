@@ -116,6 +116,22 @@ class StageClock:
             raise ValueError(f"negative charge: {seconds}")
         self._bucket(self._compute, stage)[rank] += seconds
 
+    def charge_compute_all(self, stage: str, seconds_per_rank) -> None:
+        """Add compute seconds to every rank under ``stage`` in one call.
+
+        The vectorized path every superstep's bulk charge takes: one
+        array add into the stage bucket instead of ``nprocs`` scalar
+        charges.
+        """
+        arr = np.asarray(seconds_per_rank, dtype=np.float64)
+        if arr.shape != (self.nprocs,):
+            raise ValueError(
+                f"expected {self.nprocs} per-rank charges, got shape {arr.shape}"
+            )
+        if arr.size and arr.min() < 0:
+            raise ValueError(f"negative charge in {arr}")
+        self._bucket(self._compute, stage)[:] += arr
+
     def charge_comm_all(self, stage: str, seconds: float, ranks=None) -> None:
         """Add communication seconds to every (or the given) participating rank."""
         if seconds < 0:

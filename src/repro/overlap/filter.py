@@ -21,7 +21,9 @@ Within a rank the tasks are processed in chunks of
 (:mod:`repro.align.batch`): one vectorized x-drop extension and one
 vectorized classification per chunk instead of a Python loop over pairs,
 and a single :data:`~repro.sparse.types.OVERLAP_DTYPE` structured fill per
-rank.  The classifier emits *both* directed edge payloads per dovetail, and
+rank.  The per-rank alignment superstep itself runs through
+``world.map_ranks`` so the executor backend (serial or thread pool) can
+overlap ranks on real cores without changing any output.  The classifier emits *both* directed edge payloads per dovetail, and
 a final all-to-all routes them to their 2D block owners, rebuilding the
 full symmetric R.
 """
@@ -126,7 +128,7 @@ def _redistribute_tasks(
         for o in range(P):
             sel = dest == o
             send[rank][o] = (gi[sel], gj[sel], blk.vals[sel])
-        world.charge_compute(rank, blk.nnz)
+    world.charge_compute_all(counts)
     recv = world.comm.alltoall(send)
 
     tasks = []
@@ -282,17 +284,30 @@ def build_overlap_graph(
     fetched = reads.fetch(requests)
 
     # per-rank batched alignment: each rank's tasks go through the batch
-    # engine in `params.batch_size` chunks
+    # engine in `params.batch_size` chunks.  The superstep runs through the
+    # world's executor backend; each rank fills a private stats object and
+    # the per-rank counters merge in rank order below, so outcome counts
+    # are backend-independent.
+    def _align_step(ctx, task, local_reads):
+        gi_arr, gj_arr, seeds = task
+        rank_stats = AlignmentStats()
+        src, dst, vals, contained, aligned_bases = _align_rank_tasks(
+            local_reads, gi_arr, gj_arr, seeds, params, rank_stats
+        )
+        ctx.charge_compute(aligned_bases, kind="alignment")
+        return src, dst, vals, contained, rank_stats
+
+    aligned = world.map_ranks(_align_step, tasks, fetched)
     triples = []
     contained_lists: list[np.ndarray] = []
-    for rank in range(P):
-        gi_arr, gj_arr, seeds = tasks[rank]
-        src, dst, vals, contained, aligned_bases = _align_rank_tasks(
-            fetched[rank], gi_arr, gj_arr, seeds, params, stats
-        )
-        world.charge_compute(rank, aligned_bases, kind="alignment")
+    for src, dst, vals, contained, rank_stats in aligned:
         triples.append((src, dst, vals))
         contained_lists.append(contained)
+        stats.pairs_aligned += rank_stats.pairs_aligned
+        stats.dovetails += rank_stats.dovetails
+        stats.contained += rank_stats.contained
+        stats.internal += rank_stats.internal
+        stats.low_score += rank_stats.low_score
 
     R = DistSparseMatrix.from_rank_triples(
         grid,

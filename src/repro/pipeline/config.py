@@ -8,6 +8,7 @@ from dataclasses import dataclass, field
 from ..errors import PipelineError
 from ..mpi.bigcount import MPI_COUNT_LIMIT
 from ..mpi.costmodel import MACHINE_PRESETS, MachineModel
+from ..mpi.executor import EXECUTOR_BACKENDS, default_executor
 
 __all__ = ["PipelineConfig"]
 
@@ -23,6 +24,12 @@ class PipelineConfig:
 
     nprocs: int = 4
     machine: str | MachineModel = "cori-haswell"
+    # per-rank compute backend for map_ranks supersteps: "serial" runs
+    # ranks in order on the calling thread, "thread" overlaps them on a
+    # worker pool.  Artifacts and modeled accounting are bit-identical
+    # across backends, so -- like align_batch_size -- this is deliberately
+    # not checkpoint-fingerprinted.  Env override: REPRO_EXECUTOR.
+    executor: str = field(default_factory=default_executor)
     # k-mer stage
     k: int = 31
     reliable_lo: int = 2
@@ -91,6 +98,11 @@ class PipelineConfig:
             )
         if not 1 <= self.k <= 31:
             raise PipelineError(f"k must be in [1, 31], got {self.k}")
+        if self.executor not in EXECUTOR_BACKENDS:
+            raise PipelineError(
+                f"unknown executor {self.executor!r}; "
+                f"options: {list(EXECUTOR_BACKENDS)}"
+            )
         if self.reliable_hi is not None and self.reliable_hi < self.reliable_lo:
             raise PipelineError(
                 f"reliable_hi ({self.reliable_hi}) must be >= reliable_lo "

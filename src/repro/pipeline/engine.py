@@ -418,13 +418,20 @@ class Pipeline:
             store = reads
             world = store.grid.world
             grid = store.grid
+            # a prebuilt store carries its own world; the run's config
+            # governs the backend (backends are output-identical).  A
+            # custom Executor instance survives as long as its name
+            # matches config.executor -- to keep a hand-tuned pool, set
+            # config.executor to that backend's name.
+            if world.executor.name != config.executor:
+                world.use_executor(config.executor)
         elif reads is not None:
-            world = SimWorld(config.nprocs, machine)
+            world = SimWorld(config.nprocs, machine, executor=config.executor)
             grid = ProcGrid(world)
             read_list = reads.reads if isinstance(reads, ReadSet) else reads
             store = DistReadStore.from_global(grid, read_list)
         else:
-            world = SimWorld(config.nprocs, machine)
+            world = SimWorld(config.nprocs, machine, executor=config.executor)
             grid = ProcGrid(world)
             store = None
         ctx = RunContext(

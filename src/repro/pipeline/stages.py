@@ -192,11 +192,15 @@ class ScaffoldStage(Stage):
         return {"scaffold": repr(config.extra.get("scaffold"))}
 
     def run(self, ctx: RunContext) -> None:
-        from ..scaffold.merge import scaffold_contigs
+        from ..scaffold.merge import ScaffoldConfig, scaffold_contigs
 
         contigs = ctx.require("contigs")
         seqs = [c.codes for c in contigs.contigs]
-        result = scaffold_contigs(seqs, ctx.config.extra.get("scaffold"))
+        scfg = ctx.config.extra.get("scaffold")
+        if scfg is None:
+            # inherit the run's executor backend (not fingerprinted)
+            scfg = ScaffoldConfig(executor=ctx.config.executor)
+        result = scaffold_contigs(seqs, scfg)
         ctx.counts["scaffolds"] = result.count
         ctx.publish("scaffolds", result)
 

@@ -31,6 +31,7 @@ from ..kmer.counter import count_kmers
 from ..kmer.kmermatrix import build_kmer_matrix
 from ..mpi.comm import SimWorld
 from ..mpi.costmodel import MACHINE_PRESETS, MachineModel
+from ..mpi.executor import EXECUTOR_BACKENDS, default_executor
 from ..mpi.grid import ProcGrid
 from ..overlap.detect import detect_overlaps
 from ..overlap.filter import AlignmentParams, build_overlap_graph
@@ -63,6 +64,11 @@ class ScaffoldConfig:
     k: int = 25
     nprocs: int = 1
     machine: str | MachineModel = "cori-haswell"
+    # per-rank compute backend for the scaffold rounds' worlds; same
+    # REPRO_EXECUTOR-aware default as PipelineConfig.executor.  repr=False
+    # keeps it out of the Scaffold stage's repr-based checkpoint
+    # fingerprint (backends are output-identical)
+    executor: str = field(default_factory=default_executor, repr=False)
     min_shared_kmers: int = 1
     xdrop: int = 15
     align_mode: str = "diag"
@@ -90,6 +96,11 @@ class ScaffoldConfig:
             )
         if self.align_mode not in ("diag", "dp"):
             raise PipelineError(f"unknown align_mode {self.align_mode!r}")
+        if self.executor not in EXECUTOR_BACKENDS:
+            raise PipelineError(
+                f"unknown executor {self.executor!r}; "
+                f"options: {list(EXECUTOR_BACKENDS)}"
+            )
 
     def resolve_machine(self) -> MachineModel:
         if isinstance(self.machine, MachineModel):
@@ -250,7 +261,7 @@ def scaffold_contigs(
     t0 = time.perf_counter()
 
     seqs = _as_code_arrays(contigs)
-    world = SimWorld(cfg.nprocs, cfg.resolve_machine())
+    world = SimWorld(cfg.nprocs, cfg.resolve_machine(), executor=cfg.executor)
     result = ScaffoldResult(contigs=seqs)
     if len(seqs) < 2:
         result.wall_seconds = time.perf_counter() - t0
@@ -382,7 +393,7 @@ def gap_fill(
 
     bridges = _bridge_candidates(contig_seqs, read_list, min(cfg.k, 15))
     seqs = contig_seqs + bridges
-    world = SimWorld(cfg.nprocs, cfg.resolve_machine())
+    world = SimWorld(cfg.nprocs, cfg.resolve_machine(), executor=cfg.executor)
     grid = ProcGrid(world)
 
     with world.stage_scope(STAGE):

@@ -192,7 +192,7 @@ class DistSparseMatrix:
             if add_reduce is not None:
                 blk = blk.deduped(add_reduce)
             blocks.append(blk)
-            world.charge_compute(rank, blk.nnz)
+        world.charge_compute_all([blk.nnz for blk in blocks])
         return cls(grid, shape, blocks)
 
     # ------------------------------------------------------------------
@@ -250,7 +250,7 @@ class DistSparseMatrix:
                     lambda v, r, c, rlo=rlo, clo=clo: func(v, r + rlo, c + clo)
                 )
             )
-            world.charge_compute(rank, blk.nnz)
+        world.charge_compute_all([blk.nnz for blk in self.blocks])
         return DistSparseMatrix(self.grid, self.shape, out)
 
     def prune(self, pred: Callable[..., np.ndarray]) -> "DistSparseMatrix":
@@ -269,7 +269,7 @@ class DistSparseMatrix:
                 out.append(blk.select(~mask))
             else:
                 out.append(blk)
-            world.charge_compute(rank, blk.nnz)
+        world.charge_compute_all([blk.nnz for blk in self.blocks])
         return DistSparseMatrix(self.grid, self.shape, out)
 
     def lookup_join(
@@ -372,6 +372,31 @@ class DistSparseMatrix:
             clo, chi = grid.col_block(out_shape[1], j)
             return (rhi - rlo, chi - clo)
 
+        # each rank's step touches only its own slot of partials/acc, so
+        # the superstep is safe under the concurrent executor backends
+        def _multiply_step(ctx, a_blk, b_blk):
+            rank = int(ctx)
+            part, flops = spgemm_local(a_blk, b_blk, semiring)
+            ctx.charge_compute(max(flops, 1))
+            received = a_blk.nbytes + b_blk.nbytes
+            if merge_mode == "bulk":
+                if part.nnz:
+                    partials[rank].append(part)
+                live = sum(p.nbytes for p in partials[rank])
+                ctx.observe_memory(received + live)
+            else:
+                prev = acc[rank]
+                live = (prev.nbytes if prev is not None else 0) + part.nbytes
+                ctx.observe_memory(received + live)
+                if part.nnz or prev is None:
+                    pieces = [p for p in (prev, part) if p is not None]
+                    merged = _concat_coo(
+                        _out_block_shape(rank), pieces, semiring.out_dtype
+                    )
+                    merged = merged.deduped(semiring.add_reduce)
+                    ctx.charge_compute(merged.nnz)
+                    acc[rank] = merged
+
         for s in range(q):
             # broadcast A(:, s) along grid rows
             a_recv: list[LocalCoo] = [None] * grid.nprocs
@@ -391,31 +416,11 @@ class DistSparseMatrix:
                 )
                 for i in range(q):
                     b_recv[grid.rank_of(i, j)] = got[i]
-            # local multiply-accumulate
-            for rank in range(grid.nprocs):
-                part, flops = spgemm_local(a_recv[rank], b_recv[rank], semiring)
-                world.charge_compute(rank, max(flops, 1))
-                received = a_recv[rank].nbytes + b_recv[rank].nbytes
-                if merge_mode == "bulk":
-                    if part.nnz:
-                        partials[rank].append(part)
-                    live = sum(p.nbytes for p in partials[rank])
-                    world.observe_memory(rank, received + live)
-                else:
-                    prev = acc[rank]
-                    live = (prev.nbytes if prev is not None else 0) + part.nbytes
-                    world.observe_memory(rank, received + live)
-                    if part.nnz or prev is None:
-                        pieces = [p for p in (prev, part) if p is not None]
-                        merged = _concat_coo(
-                            _out_block_shape(rank), pieces, semiring.out_dtype
-                        )
-                        merged = merged.deduped(semiring.add_reduce)
-                        world.charge_compute(rank, merged.nnz)
-                        acc[rank] = merged
+            # local multiply-accumulate superstep
+            world.map_ranks(_multiply_step, a_recv, b_recv)
 
-        blocks = []
-        for rank in range(grid.nprocs):
+        def _final_merge_step(ctx):
+            rank = int(ctx)
             if merge_mode == "stream":
                 merged = (
                     acc[rank]
@@ -427,9 +432,11 @@ class DistSparseMatrix:
                     _out_block_shape(rank), partials[rank], semiring.out_dtype
                 )
                 merged = merged.deduped(semiring.add_reduce)
-                world.charge_compute(rank, merged.nnz)
-            world.observe_memory(rank, merged.nbytes)
-            blocks.append(merged)
+                ctx.charge_compute(merged.nnz)
+            ctx.observe_memory(merged.nbytes)
+            return merged
+
+        blocks = world.map_ranks(_final_merge_step)
         result = DistSparseMatrix(grid, out_shape, blocks)
         if exclude_diagonal:
             result = result.prune(lambda v, r, c: r == c)
@@ -518,7 +525,7 @@ class DistSparseMatrix:
                 out.append(blk.select(~bad))
             else:
                 out.append(blk)
-            world.charge_compute(rank, blk.nnz)
+        world.charge_compute_all([blk.nnz for blk in self.blocks])
         return DistSparseMatrix(self.grid, self.shape, out)
 
     def edge_triples_per_rank(

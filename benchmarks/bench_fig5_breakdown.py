@@ -148,7 +148,7 @@ def test_bench_contig_generation_only(benchmark, c_elegans):
     store = DistReadStore.from_global(grid, c_elegans.readset.reads)
     table = count_kmers(store, c_elegans.k, reliable_lo=2)
     A = build_kmer_matrix(store, table)
-    C = detect_overlaps(A)
+    C, _ = detect_overlaps(A)
     R, _ = build_overlap_graph(
         C,
         store,

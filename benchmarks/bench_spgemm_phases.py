@@ -1,0 +1,197 @@
+"""Bench: memory-budgeted phased SpGEMM (column-blocked SUMMA).
+
+CombBLAS-style multi-phase SpGEMM splits the output into ``b`` column
+phases so only one phase's partial products are ever live -- the paper's
+§7 plan for assembling large genomes at low concurrency.  This bench runs
+``C = A . A`` on a duplicate-heavy random operand at P = 16 for
+``b in {1, 2, 4}`` and records, into ``BENCH_spgemm.json``:
+
+* the modeled per-rank peak working set at each phase count (must
+  *decrease monotonically* from b = 1 to b = 4 on this input);
+* wall-clock supersteps/sec at each phase count (phasing costs extra
+  broadcasts and merge passes; the trajectory tracks that overhead);
+* the phase count the symbolic planner picks for a budget that b = 1
+  violates, and the observed peak under that plan (must fit).
+
+The ``smoke`` tests assert the bit-identity and planner contracts and run
+in the CI kernel step.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench import render_matrix
+from repro.mpi import MemoryBudget, ProcGrid, SimWorld, cori_haswell
+from repro.sparse import DistSparseMatrix, arithmetic_semiring
+
+BENCH_JSON = Path(__file__).parent / "BENCH_spgemm.json"
+
+NPROCS = 16
+SHAPE = (96, 96)
+DENSITY = 0.3
+PHASE_LIST = [1, 2, 4]
+
+
+def make_operand(grid, shape=SHAPE, density=DENSITY, seed=43):
+    """A duplicate-heavy random square operand (transient-dominated)."""
+    rng = np.random.default_rng(seed)
+    n, m = shape
+    nnz = int(n * m * density)
+    rows = rng.integers(0, n, size=nnz)
+    cols = rng.integers(0, m, size=nnz)
+    vals = rng.integers(1, 5, size=nnz).astype(np.int64)
+    keys = rows * m + cols
+    _, first = np.unique(keys, return_index=True)
+    return DistSparseMatrix.from_global_coo(
+        grid, shape, rows[first], cols[first], vals[first]
+    )
+
+
+def supersteps_of(phases: int, q: int) -> int:
+    """map_ranks supersteps of one phased SpGEMM: q multiplies + one
+    finalize per phase, plus the cross-phase assembly when b > 1."""
+    return phases * (q + 1) + (1 if phases > 1 else 0)
+
+
+def measure_phases(phases: int, repeats: int = 3):
+    """Peak modeled bytes and supersteps/sec at one phase count."""
+    world = SimWorld(NPROCS, cori_haswell())
+    grid = ProcGrid(world)
+    A = make_operand(grid)
+    semiring = arithmetic_semiring(np.int64)
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        A.spgemm(A, semiring, phases=phases)
+        times.append(time.perf_counter() - t0)
+    steps = supersteps_of(phases, grid.q)
+    return {
+        "phases": phases,
+        "peak_modeled_bytes": world.memory.peak_overall(),
+        "supersteps_per_sec": round(steps / min(times), 2),
+    }
+
+
+def measure_planner(bulk_peak: float):
+    """Plan against a budget the unphased run violates; run the plan."""
+    world = SimWorld(NPROCS, cori_haswell())
+    grid = ProcGrid(world)
+    A = make_operand(grid)
+    semiring = arithmetic_semiring(np.int64)
+    budget = MemoryBudget(bulk_peak * 0.6)
+    world.memory.set_budget(budget)
+    plan = A.plan_spgemm(A, semiring, budget)
+    A.spgemm(A, semiring, budget=budget, plan=plan)
+    return {
+        "budget_bytes": budget.limit_bytes,
+        "planned_phases": plan.phases,
+        "plan_fits": plan.fits,
+        "est_peak_bytes": plan.est_peak_bytes,
+        "observed_peak_bytes": world.memory.peak_overall(),
+        "violations": len(budget.violations),
+    }
+
+
+def append_trajectory(datapoints, planner):
+    history = []
+    if BENCH_JSON.exists():
+        history = json.loads(BENCH_JSON.read_text()).get("history", [])
+    history.append(
+        {
+            "date": time.strftime("%Y-%m-%d"),
+            "results": datapoints,
+            "planner": planner,
+        }
+    )
+    BENCH_JSON.write_text(
+        json.dumps(
+            {"bench": "phased_spgemm_peak_bytes_and_supersteps", "history": history},
+            indent=2,
+        )
+        + "\n"
+    )
+
+
+def test_bench_spgemm_phases(write_artifact):
+    """Peak modeled bytes + supersteps/sec at b in {1, 2, 4}, recorded."""
+    results = [measure_phases(b) for b in PHASE_LIST]
+    peaks = [r["peak_modeled_bytes"] for r in results]
+    # the acceptance contract: phasing monotonically shrinks the peak
+    assert peaks == sorted(peaks, reverse=True), peaks
+    assert peaks[-1] < peaks[0]
+    planner = measure_planner(bulk_peak=peaks[0])
+    assert planner["planned_phases"] > 1
+    assert planner["plan_fits"]
+    assert planner["observed_peak_bytes"] <= planner["budget_bytes"]
+    assert planner["violations"] == 0
+    rows = [
+        (
+            f"b={r['phases']}",
+            [r["peak_modeled_bytes"] / 1e3, r["supersteps_per_sec"]],
+        )
+        for r in results
+    ]
+    rows.append(
+        (
+            f"plan b={planner['planned_phases']}",
+            [planner["observed_peak_bytes"] / 1e3, planner["budget_bytes"] / 1e3],
+        )
+    )
+    text = render_matrix(
+        "Phased SpGEMM -- peak modeled KB per rank vs phase count "
+        f"(P={NPROCS}, budget row: observed vs cap)",
+        ["peak KB", "ss/s | cap KB"],
+        rows,
+    )
+    write_artifact("bench_spgemm_phases", text)
+    append_trajectory(results, planner)
+
+
+# -- CI smoke: phased execution is bit-identical and plans fit ------------
+
+
+def _blocks_equal(x: DistSparseMatrix, y: DistSparseMatrix) -> bool:
+    return all(
+        np.array_equal(bx.rows, by.rows)
+        and np.array_equal(bx.cols, by.cols)
+        and np.array_equal(bx.vals, by.vals)
+        for bx, by in zip(x.blocks, y.blocks)
+    )
+
+
+def test_smoke_phased_bit_identical():
+    """Any phase count reproduces the unphased product block-for-block."""
+    world = SimWorld(NPROCS, cori_haswell())
+    grid = ProcGrid(world)
+    A = make_operand(grid, shape=(48, 48), seed=7)
+    semiring = arithmetic_semiring(np.int64)
+    ref = A.spgemm(A, semiring)
+    for mode in ("bulk", "stream"):
+        for b in PHASE_LIST:
+            C = A.spgemm(A, semiring, merge_mode=mode, phases=b)
+            assert _blocks_equal(C, ref), (mode, b)
+
+
+def test_smoke_planner_fits_budget():
+    """The planner picks a phase count whose observed peak fits a budget
+    the unphased run violates."""
+    world = SimWorld(NPROCS, cori_haswell())
+    grid = ProcGrid(world)
+    A = make_operand(grid, shape=(64, 64), seed=17)
+    semiring = arithmetic_semiring(np.int64)
+    A.spgemm(A, semiring)
+    bulk_peak = world.memory.peak_overall()
+
+    world2 = SimWorld(NPROCS, cori_haswell())
+    grid2 = ProcGrid(world2)
+    A2 = make_operand(grid2, shape=(64, 64), seed=17)
+    budget = MemoryBudget(bulk_peak * 0.7)
+    plan = A2.plan_spgemm(A2, semiring, budget)
+    assert plan.phases > 1
+    assert plan.fits
+    A2.spgemm(A2, semiring, budget=budget, plan=plan)
+    assert world2.memory.peak_overall() <= budget.limit_bytes
+    assert not budget.violations

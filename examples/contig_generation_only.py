@@ -39,7 +39,7 @@ def main() -> None:
     store = DistReadStore.from_global(grid, reads.reads)
     table = count_kmers(store, k=21, reliable_lo=2)
     A = build_kmer_matrix(store, table)
-    C = detect_overlaps(A)
+    C, _ = detect_overlaps(A)
     R, astats = build_overlap_graph(
         C, store, AlignmentParams(k=21, xdrop=15, end_margin=10)
     )

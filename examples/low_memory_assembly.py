@@ -3,14 +3,16 @@
 Two future-work directions from the paper's conclusion, demonstrated on
 the same dataset:
 
-1. **Memory reduction** -- "we plan to reduce the memory consumption of
-   ELBA so that we can assemble large genomes at low concurrency."  The
-   ``memory_mode="low"`` pipeline streams each SUMMA stage's partial
-   product into a running accumulator instead of holding all sqrt(P)
-   partials live.  The contigs are bit-identical; only the transient
-   working set (and a little merge time) changes.  The saving scales with
-   the number of SUMMA stages (sqrt(P)) a bulk accumulation would hold
-   live -- at q = 2 both modes coincide, from q = 4 the stream mode wins.
+1. **Memory budgets** -- "we plan to reduce the memory consumption of
+   ELBA so that we can assemble large genomes at low concurrency."
+   ``PipelineConfig.memory_budget_mb`` (CLI: ``--memory-budget-mb``) caps
+   the modeled per-rank working set.  The symbolic SpGEMM planner then
+   column-blocks each SUMMA product into phases sized so the transient
+   footprint fits: this example picks a budget the classic single-phase
+   run *violates*, shows the planner selecting a phase count that fits
+   it, and verifies the contigs are bit-identical.  An impossible budget
+   demonstrates the audit path -- violations are recorded per stage and
+   surfaced on the result instead of silently overshooting.
 
 2. **Cloud execution** -- "optimize ELBA for running in a cloud
    environment as high-performance scientific computing in the cloud
@@ -23,7 +25,7 @@ Run:  python examples/low_memory_assembly.py
 """
 
 from repro.bench import build_bench_dataset, sweep_pipeline
-from repro.pipeline import Pipeline, scaling_table
+from repro.pipeline import Pipeline, memory_table, scaling_table
 
 
 def main() -> None:
@@ -31,25 +33,48 @@ def main() -> None:
     print(f"dataset: {ds.name} (scaled 1/{ds.scale}; "
           f"{len(ds.readset.reads)} reads over {len(ds.genome)} bp)")
 
-    # --- part 1: memory modes ------------------------------------------
-    print("\n== memory reduction (fast vs low) ==")
+    # --- part 1: memory budgets + the phase planner --------------------
+    print("\n== memory budgets (symbolic planner, column-blocked SUMMA) ==")
     pipeline = Pipeline.default()
-    for p in (4, 16):
-        rows = {}
-        for mode in ("fast", "low"):
-            cfg = ds.config(p, "cori-haswell")
-            cfg.memory_mode = mode
-            rows[mode] = pipeline.run(ds.readset, cfg)
-        fast, low = rows["fast"], rows["low"]
-        identical = sorted(
-            c.sequence() for c in fast.contigs.contigs
-        ) == sorted(c.sequence() for c in low.contigs.contigs)
-        saving = 1 - low.peak_memory_bytes / fast.peak_memory_bytes
-        print(
-            f"  P={p:<3} peak {fast.peak_memory_bytes / 1e6:7.2f} MB -> "
-            f"{low.peak_memory_bytes / 1e6:7.2f} MB  "
-            f"({saving:5.1%} saved, contigs identical: {identical})"
-        )
+    p = 16
+
+    # baseline: classic single-phase SUMMA, no budget
+    unbudgeted = pipeline.run(ds.readset, ds.config(p, "cori-haswell"))
+    peak_mb = unbudgeted.peak_memory_bytes / 1e6
+
+    # a budget the single-phase run violates
+    budget_mb = peak_mb * 0.6
+    cfg = ds.config(p, "cori-haswell")
+    cfg.memory_budget_mb = budget_mb
+    budgeted = pipeline.run(ds.readset, cfg)
+
+    identical = sorted(
+        c.sequence() for c in unbudgeted.contigs.contigs
+    ) == sorted(c.sequence() for c in budgeted.contigs.contigs)
+    phases = budgeted.counts.get("overlap_spgemm_phases", 1)
+    print(f"  P={p}: unbudgeted peak {peak_mb:.3f} MB "
+          f"(violates a {budget_mb:.3f} MB cap at b=1)")
+    print(f"  planner chose b={phases} phases -> peak "
+          f"{budgeted.peak_memory_bytes / 1e6:.3f} MB, "
+          f"{len(budgeted.budget_violations)} violations, "
+          f"contigs identical: {identical}")
+    assert budgeted.peak_memory_bytes <= budget_mb * 1e6
+    assert not budgeted.budget_violations
+    assert identical
+
+    # an impossible budget: the planner maxes out its phases, and every
+    # overshoot is recorded instead of silently ignored
+    tight = ds.config(p, "cori-haswell")
+    tight.memory_budget_mb = peak_mb / 1e3
+    audited = pipeline.run(ds.readset, tight)
+    stages = {v.stage for v in audited.budget_violations}
+    print(f"  impossible cap {tight.memory_budget_mb:.5f} MB: "
+          f"{len(audited.budget_violations)} violations recorded "
+          f"in {sorted(stages)}")
+    assert audited.budget_violations
+
+    print()
+    print(memory_table(ds.name, [unbudgeted, budgeted, audited]))
 
     # --- part 2: cloud sweep -------------------------------------------
     print("\n== cloud fabric (aws-hpc) vs Cori Haswell ==")

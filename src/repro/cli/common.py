@@ -15,6 +15,7 @@ __all__ = [
     "add_pipeline_args",
     "build_pipeline_config",
     "positive_int",
+    "positive_float",
     "CliError",
 ]
 
@@ -27,6 +28,13 @@ def positive_int(text: str) -> int:
     value = int(text)
     if value <= 0:
         raise argparse.ArgumentTypeError(f"expected a positive integer, got {text}")
+    return value
+
+
+def positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {text}")
     return value
 
 
@@ -99,6 +107,12 @@ def add_pipeline_args(parser: argparse.ArgumentParser) -> None:
         help="SpGEMM accumulation strategy (low = stream merge)",
     )
     parser.add_argument(
+        "--memory-budget-mb", type=positive_float, default=None,
+        help="per-rank modeled-memory cap in MB: the symbolic planner "
+        "column-blocks each SpGEMM into phases that fit (results are "
+        "bit-identical; overshoots are reported as budget violations)",
+    )
+    parser.add_argument(
         "--partition", choices=("lpt", "greedy", "round_robin"), default="lpt",
         help="contig-to-processor partitioning algorithm",
     )
@@ -129,4 +143,6 @@ def build_pipeline_config(args, ds=None) -> PipelineConfig:
         cfg.contig_engine = args.contig_engine
     if getattr(args, "executor", None) is not None:
         cfg.executor = args.executor
+    if getattr(args, "memory_budget_mb", None) is not None:
+        cfg.memory_budget_mb = args.memory_budget_mb
     return cfg

@@ -27,7 +27,7 @@ from .costmodel import (
     zero_cost,
 )
 from .grid import ProcGrid
-from .memory import MemoryMeter
+from .memory import BudgetViolation, MemoryBudget, MemoryMeter
 from .stats import CommEvent, CommLog, StageClock, TimingReport
 
 __all__ = [
@@ -49,6 +49,8 @@ __all__ = [
     "zero_cost",
     "MACHINE_PRESETS",
     "MemoryMeter",
+    "MemoryBudget",
+    "BudgetViolation",
     "CommEvent",
     "CommLog",
     "StageClock",

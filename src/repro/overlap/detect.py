@@ -10,7 +10,8 @@ BELLA's defense against chance collisions.
 
 from __future__ import annotations
 
-from ..sparse.distmat import DistSparseMatrix
+from ..mpi.memory import MemoryBudget
+from ..sparse.distmat import DistSparseMatrix, SpgemmPlan
 from ..sparse.semiring import seed_semiring
 
 __all__ = ["detect_overlaps"]
@@ -20,19 +21,32 @@ def detect_overlaps(
     A: DistSparseMatrix,
     min_shared: int = 1,
     merge_mode: str = "bulk",
-) -> DistSparseMatrix:
+    phases: int | None = None,
+    budget: MemoryBudget | None = None,
+) -> tuple[DistSparseMatrix, SpgemmPlan | None]:
     """Build the candidate overlap matrix C from the k-mer matrix A.
 
-    Returns a |reads| x |reads| matrix of :data:`SEED_DTYPE` entries; the
-    pattern is symmetric (both (i, j) and (j, i) are present).
-    ``merge_mode="stream"`` selects the low-memory SUMMA accumulation --
-    C = A.A^T is the pipeline's peak-memory kernel, so this is where the
-    paper's §7 memory-reduction plan bites.
+    Returns ``(C, plan)``: a |reads| x |reads| matrix of
+    :data:`SEED_DTYPE` entries whose pattern is symmetric (both (i, j)
+    and (j, i) are present), plus the :class:`SpgemmPlan` the memory
+    budget produced (``None`` without a budget).  ``merge_mode="stream"``
+    selects the low-memory SUMMA accumulation and ``phases``/``budget``
+    column-block the product -- C = A.A^T is the pipeline's peak-memory
+    kernel, so this is where the paper's §7 memory-reduction plan bites.
     """
+    semiring = seed_semiring()
     At = A.transpose()
+    plan = None
+    if phases is None and budget is not None and not budget.unlimited:
+        plan = A.plan_spgemm(At, semiring, budget)
     C = A.spgemm(
-        At, seed_semiring(), exclude_diagonal=True, merge_mode=merge_mode
+        At,
+        semiring,
+        exclude_diagonal=True,
+        merge_mode=merge_mode,
+        phases=phases,
+        plan=plan,
     )
     if min_shared > 1:
         C = C.prune(lambda v, r, c: v["count"] < min_shared)
-    return C
+    return C, plan

@@ -15,7 +15,13 @@ from .engine import (
     register_stage,
 )
 from .figures import ascii_line_chart, stacked_bar_chart
-from .report import ScalingPoint, breakdown_table, parallel_efficiency, scaling_table
+from .report import (
+    ScalingPoint,
+    breakdown_table,
+    memory_table,
+    parallel_efficiency,
+    scaling_table,
+)
 
 __all__ = [
     "PipelineConfig",
@@ -35,6 +41,7 @@ __all__ = [
     "ScalingPoint",
     "scaling_table",
     "breakdown_table",
+    "memory_table",
     "parallel_efficiency",
     "ascii_line_chart",
     "stacked_bar_chart",

@@ -117,6 +117,7 @@ def pack_artifact(value: Any) -> tuple[str, Any]:
             "S": _pack_matrix(value.S),
             "rounds": value.rounds,
             "removed_per_round": list(value.removed_per_round),
+            "phases_per_round": list(value.phases_per_round),
         }
     if isinstance(value, KmerTable):
         return "kmertable", {
@@ -155,6 +156,7 @@ def unpack_artifact(tag: str, payload: Any, ctx: "RunContext") -> Any:
             S=_unpack_matrix(payload["S"], ctx),
             rounds=payload["rounds"],
             removed_per_round=list(payload["removed_per_round"]),
+            phases_per_round=list(payload.get("phases_per_round", [])),
         )
     if tag == "kmertable":
         if len(payload["kmers_by_owner"]) != ctx.grid.nprocs:

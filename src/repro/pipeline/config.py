@@ -66,6 +66,13 @@ class PipelineConfig:
     # streams each stage into the accumulator, trading merge passes for a
     # smaller peak working set
     memory_mode: str = "fast"
+    # per-rank modeled-memory cap in MB for the SpGEMM kernels (None =
+    # unlimited).  When set, the symbolic phase planner column-blocks each
+    # SUMMA product so the transient working set fits, and every observed
+    # overshoot is recorded as a budget violation on the result.  Results
+    # are bit-identical at any phase count, so -- like align_batch_size --
+    # this is deliberately not checkpoint-fingerprinted.
+    memory_budget_mb: float | None = None
     # retain the intermediate R (overlap) and S (string) matrices on the
     # result for inspection/export (GFA/PAF); off by default since they
     # are the run's largest objects
@@ -76,6 +83,15 @@ class PipelineConfig:
     def merge_mode(self) -> str:
         """The SpGEMM accumulation strategy implied by ``memory_mode``."""
         return "stream" if self.memory_mode == "low" else "bulk"
+
+    def memory_budget(self):
+        """A fresh :class:`~repro.mpi.memory.MemoryBudget` for one run
+        (``None`` when no cap is configured)."""
+        if self.memory_budget_mb is None:
+            return None
+        from ..mpi.memory import MemoryBudget
+
+        return MemoryBudget.from_mb(self.memory_budget_mb)
 
     def resolve_machine(self) -> MachineModel:
         if isinstance(self.machine, MachineModel):
@@ -135,4 +151,8 @@ class PipelineConfig:
             raise PipelineError(
                 f"unknown memory_mode {self.memory_mode!r}; "
                 "options: fast, low"
+            )
+        if self.memory_budget_mb is not None and self.memory_budget_mb <= 0:
+            raise PipelineError(
+                f"memory_budget_mb must be positive, got {self.memory_budget_mb}"
             )

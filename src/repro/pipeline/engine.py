@@ -266,6 +266,10 @@ class PipelineResult:
     artifacts: dict[str, Any] = field(default_factory=dict)
     stages_run: list[str] = field(default_factory=list)
     stages_skipped: list[tuple[str, str]] = field(default_factory=list)
+    #: this run's MemoryBudget, snapshotted at run end (budgets are
+    #: per-run objects, so a later run on the same world cannot rewrite
+    #: an earlier result's audit)
+    memory_budget: Any = None
 
     def stage_seconds(self, stage: str) -> float:
         """Modeled seconds of a main stage (substages aggregated).
@@ -295,6 +299,12 @@ class PipelineResult:
     def peak_memory_bytes(self) -> float:
         """Modeled per-rank peak working set of the run's SpGEMM kernels."""
         return float(self.counts.get("peak_memory_bytes", 0.0))
+
+    @property
+    def budget_violations(self) -> list:
+        """Working-set samples that exceeded the configured budget."""
+        budget = self.memory_budget
+        return list(budget.violations) if budget is not None else []
 
     @property
     def modeled_total(self) -> float:
@@ -434,6 +444,9 @@ class Pipeline:
             world = SimWorld(config.nprocs, machine, executor=config.executor)
             grid = ProcGrid(world)
             store = None
+        # one budget per run, attached to the meter so every working-set
+        # observation is audited and the SpGEMM planners can size phases
+        world.memory.set_budget(config.memory_budget())
         ctx = RunContext(
             config=config, machine=machine, world=world, grid=grid, store=store
         )
@@ -558,6 +571,11 @@ class Pipeline:
             self._notify("on_stage_skip", stage.name, ctx, "until")
 
         ctx.counts["peak_memory_bytes"] = ctx.world.memory.peak_overall()
+        budget = ctx.world.memory.budget
+        result.memory_budget = budget
+        if budget is not None and not budget.unlimited:
+            ctx.counts["memory_budget_bytes"] = budget.limit_bytes
+            ctx.counts["budget_violations"] = len(budget.violations)
         wall = time.perf_counter() - t0
         result.report = TimingReport.from_clock(
             ctx.world.clock,

@@ -13,7 +13,13 @@ from dataclasses import dataclass
 
 from .elba import MAIN_STAGES, PipelineResult
 
-__all__ = ["ScalingPoint", "scaling_table", "breakdown_table", "parallel_efficiency"]
+__all__ = [
+    "ScalingPoint",
+    "scaling_table",
+    "breakdown_table",
+    "parallel_efficiency",
+    "memory_table",
+]
 
 
 @dataclass(frozen=True)
@@ -66,6 +72,49 @@ def scaling_table(label: str, results: list[PipelineResult]) -> str:
             f"{pt.speedup_over(points[0]):>10.2f}{eff:>11.1%}"
             f"{pt.wall_seconds:>10.2f}"
         )
+    return "\n".join(lines)
+
+
+def memory_table(label: str, results: list[PipelineResult]) -> str:
+    """Per-stage modeled peak-memory table with budget attribution.
+
+    One column per run; rows are the per-rank peak working set of each
+    stage the meter saw, plus the run-wide peak, the configured budget
+    (``-`` when unlimited) and the number of recorded budget violations.
+    """
+    stages: list[str] = []
+    for r in results:
+        for s in r.world.memory.stages():
+            if s not in stages:
+                stages.append(s)
+    # number the columns: runs at the same P (e.g. budgeted vs not) must
+    # stay distinguishable
+    header = f"{'stage peak (MB)':<20}" + "".join(
+        f"{f'#{i} P={r.config.nprocs}':<12}"
+        for i, r in enumerate(results, 1)
+    )
+    lines = [f"memory -- {label}", header]
+    for stage in stages:
+        row = f"{stage:<20}"
+        for r in results:
+            row += f"{r.world.memory.stage_peak(stage) / 1e6:<12.3f}"
+        lines.append(row)
+    overall = f"{'overall':<20}" + "".join(
+        f"{r.peak_memory_bytes / 1e6:<12.3f}" for r in results
+    )
+    lines.append(overall)
+    budgets, violations = f"{'budget':<20}", f"{'violations':<20}"
+    for r in results:
+        b = r.memory_budget
+        cap = (
+            "-"
+            if b is None or b.unlimited
+            else f"{b.limit_bytes / 1e6:.3f}"
+        )
+        budgets += f"{cap:<12}"
+        violations += f"{len(r.budget_violations):<12}"
+    lines.append(budgets)
+    lines.append(violations)
     return "\n".join(lines)
 
 

@@ -73,11 +73,14 @@ class DetectOverlapStage(Stage):
         A = build_kmer_matrix(ctx.require("reads"), ctx.require("kmer_table"))
         ctx.counts["A_nnz"] = A.nnz()
         ctx.publish("A", A)
-        C = detect_overlaps(
+        C, plan = detect_overlaps(
             A,
             min_shared=config.min_shared_kmers,
             merge_mode=config.merge_mode,
+            budget=ctx.world.memory.budget,
         )
+        if plan is not None:
+            ctx.counts["overlap_spgemm_phases"] = plan.phases
         ctx.counts["C_nnz"] = C.nnz()
         ctx.publish("C", C)
 
@@ -135,7 +138,10 @@ class TrReductionStage(Stage):
             fuzz=config.tr_fuzz,
             max_rounds=config.tr_max_rounds,
             merge_mode=config.merge_mode,
+            budget=ctx.world.memory.budget,
         )
+        if tr.phases_per_round and max(tr.phases_per_round) > 1:
+            ctx.counts["tr_spgemm_phases"] = max(tr.phases_per_round)
         ctx.counts["S_nnz"] = tr.S.nnz()
         ctx.counts["tr_rounds"] = tr.rounds
         ctx.counts["tr_removed"] = tr.total_removed

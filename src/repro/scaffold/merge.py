@@ -206,7 +206,7 @@ def _scaffold_round(
         return list(seqs), stats
 
     A = build_kmer_matrix(store, table)
-    C = detect_overlaps(A, min_shared=cfg.min_shared_kmers)
+    C, _ = detect_overlaps(A, min_shared=cfg.min_shared_kmers)
     R, astats = build_overlap_graph(C, store, params)
     tr = transitive_reduction(R, fuzz=cfg.tr_fuzz, max_rounds=cfg.tr_max_rounds)
     cset = contig_generation(
@@ -422,7 +422,7 @@ def gap_fill(
             )
         else:
             A = build_kmer_matrix(store, table)
-            C = detect_overlaps(A, min_shared=cfg.min_shared_kmers)
+            C, _ = detect_overlaps(A, min_shared=cfg.min_shared_kmers)
             R, astats = build_overlap_graph(C, store, params)
             tr = transitive_reduction(
                 R, fuzz=cfg.tr_fuzz, max_rounds=cfg.tr_max_rounds

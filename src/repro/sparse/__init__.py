@@ -9,7 +9,7 @@ SUMMA SpGEMM, apply/prune, reductions and owner-computes vector gathers.
 from .coo import LocalCoo, segment_starts
 from .csr import LocalCsc, LocalCsr
 from .dcsc import Dcsc
-from .distmat import DistSparseMatrix
+from .distmat import DistSparseMatrix, SpgemmPlan
 from .distvec import DistVector
 from .semiring import (
     Semiring,
@@ -20,7 +20,7 @@ from .semiring import (
     minplus_semiring,
     seed_semiring,
 )
-from .spgemm import expand_join, spgemm_local
+from .spgemm import expand_join, spgemm_local, spgemm_symbolic
 from .types import (
     DIRMIN_DTYPE,
     KMER_POS_DTYPE,
@@ -35,6 +35,7 @@ __all__ = [
     "LocalCsr",
     "Dcsc",
     "DistSparseMatrix",
+    "SpgemmPlan",
     "DistVector",
     "Semiring",
     "arithmetic_semiring",
@@ -44,6 +45,7 @@ __all__ = [
     "seed_semiring",
     "dirmin_semiring",
     "spgemm_local",
+    "spgemm_symbolic",
     "expand_join",
     "segment_starts",
     "KMER_POS_DTYPE",

@@ -23,19 +23,172 @@ pattern the real library uses, charged to the cost model):
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 import numpy as np
 
 from ..errors import DistributionError
+from ..mpi.comm import block_range
 from ..mpi.grid import ProcGrid
+from ..mpi.memory import MemoryBudget
 from ..util import sorted_lookup
 from .coo import LocalCoo, segment_starts
 from .semiring import Semiring
-from .spgemm import spgemm_local
+from .spgemm import spgemm_local, spgemm_symbolic
 from .distvec import DistVector
 
-__all__ = ["DistSparseMatrix"]
+__all__ = ["DistSparseMatrix", "SpgemmPlan"]
+
+#: bytes of the two int64 coordinate arrays per COO entry
+_COO_INDEX_BYTES = 16
+
+
+def _entry_nbytes(dtype) -> int:
+    """Modeled bytes of one COO triple of payload dtype ``dtype``."""
+    return _COO_INDEX_BYTES + int(np.dtype(dtype).itemsize)
+
+
+@dataclass(frozen=True)
+class SpgemmPlan:
+    """A memory-budgeted execution plan for one distributed SpGEMM.
+
+    The planner runs the *symbolic* SpGEMM (:func:`spgemm_symbolic` summed
+    over SUMMA stages, per rank) to bound every output column's flops and
+    nonzeros without forming a value, then picks the smallest phase count
+    ``b`` whose estimated peak per-rank working set
+
+    ``max over phases of (A panel + B phase sub-panel + phase partial
+    upper bound + finished output so far)``
+
+    fits the :class:`~repro.mpi.memory.MemoryBudget`.  ``b = 1``
+    reproduces the unphased SUMMA bit-identically, so an unlimited budget
+    always plans one phase.  Estimates are upper bounds: a plan that fits
+    guarantees the executor's *modeled* working set fits too.
+    """
+
+    phases: int
+    fits: bool
+    #: estimated modeled peak per-rank bytes at the chosen phase count
+    est_peak_bytes: float
+    budget_limit_bytes: float | None
+    #: candidate phase count -> estimated modeled peak per-rank bytes
+    est_by_phases: dict[int, float] = field(default_factory=dict)
+
+    @classmethod
+    def choose(
+        cls,
+        a: "DistSparseMatrix",
+        b: "DistSparseMatrix",
+        semiring: Semiring,
+        budget: MemoryBudget | None,
+        max_phases: int = 64,
+    ) -> "SpgemmPlan":
+        """Plan ``a . b`` against ``budget`` (symbolic pass + agreement).
+
+        Charges the symbolic pass's modeled compute (structure-only, one
+        walk over both operands' nonzeros per stage) and one small
+        allreduce for the plan agreement every rank must reach.
+        """
+        grid, world = a.grid, a.grid.world
+        if b.grid is not grid:
+            raise DistributionError("operands must share a process grid")
+        if a.shape[1] != b.shape[0]:
+            raise DistributionError(
+                f"inner dimensions disagree: {a.shape} x {b.shape}"
+            )
+        limit = None if budget is None else budget.limit_bytes
+        if limit is None:
+            return cls(
+                phases=1, fits=True, est_peak_bytes=0.0,
+                budget_limit_bytes=None, est_by_phases={1: 0.0},
+            )
+        q = grid.q
+        out_entry = _entry_nbytes(semiring.out_dtype)
+        b_entry = _entry_nbytes(b.dtype)
+        scale = world.machine.volume_scale
+
+        # per-rank symbolic column profiles, summed over the q SUMMA stages
+        per_rank = []
+        sym_ops = []
+        for rank in range(grid.nprocs):
+            i, j = grid.coords_of(rank)
+            clo, chi = grid.col_block(b.shape[1], j)
+            width = chi - clo
+            rlo, rhi = grid.row_block(a.shape[0], i)
+            nrows = rhi - rlo
+            partial_ub = np.zeros(width, dtype=np.int64)
+            stage_counts = np.zeros((q, width), dtype=np.int64)
+            a_panel = 0
+            ops = 0
+            for s in range(q):
+                a_blk = a.blocks[grid.rank_of(i, s)]
+                b_blk = b.blocks[grid.rank_of(s, j)]
+                _flops_s, nnz_s = spgemm_symbolic(a_blk, b_blk)
+                partial_ub += nnz_s
+                if b_blk.nnz:
+                    stage_counts[s] = np.bincount(b_blk.cols, minlength=width)
+                a_panel = max(a_panel, a_blk.nbytes)
+                ops += a_blk.nnz + b_blk.nnz
+            out_ub = np.minimum(partial_ub, nrows)
+            cum_partial = _cumsum0(partial_ub)
+            cum_out = _cumsum0(out_ub)
+            cum_counts = np.zeros((q, width + 1), dtype=np.int64)
+            np.cumsum(stage_counts, axis=1, out=cum_counts[:, 1:])
+            per_rank.append((a_panel, cum_partial, cum_out, cum_counts))
+            sym_ops.append(ops)
+        world.charge_compute_all(sym_ops)
+
+        def estimate(phase_count: int) -> float:
+            worst = 0.0
+            for a_panel, cum_partial, cum_out, cum_counts in per_rank:
+                width = cum_partial.size - 1
+                # the fully assembled output is observed once at the end
+                peak = float(cum_out[-1]) * out_entry
+                for p in range(phase_count):
+                    lo, hi = block_range(width, phase_count, p)
+                    panel = (
+                        int((cum_counts[:, hi] - cum_counts[:, lo]).max())
+                        * b_entry
+                    )
+                    transient = (
+                        a_panel
+                        + panel
+                        + float(cum_partial[hi] - cum_partial[lo]) * out_entry
+                    )
+                    finished = float(cum_out[lo]) * out_entry
+                    peak = max(peak, transient + finished)
+                worst = max(worst, peak)
+            return worst * scale
+
+        max_width = max(
+            grid.col_block(b.shape[1], j)[1] - grid.col_block(b.shape[1], j)[0]
+            for j in range(q)
+        )
+        candidates = [1]
+        while candidates[-1] * 2 <= min(max_phases, max(max_width, 1)):
+            candidates.append(candidates[-1] * 2)
+
+        est_by_phases = {}
+        chosen, chosen_est, fits = candidates[-1], None, False
+        for cand in candidates:
+            est = estimate(cand)
+            est_by_phases[cand] = est
+            if est <= limit:
+                chosen, chosen_est, fits = cand, est, True
+                break
+        if chosen_est is None:
+            chosen_est = est_by_phases[chosen]
+        # every rank must agree on the phase count before the first
+        # broadcast; model the agreement as one tiny allreduce
+        world.comm.allreduce([float(chosen_est)] * grid.nprocs, max)
+        return cls(
+            phases=chosen,
+            fits=fits,
+            est_peak_bytes=chosen_est,
+            budget_limit_bytes=limit,
+            est_by_phases=est_by_phases,
+        )
 
 
 def _cumsum0(counts: np.ndarray) -> np.ndarray:
@@ -321,34 +474,59 @@ class DistSparseMatrix:
             grid, (self.shape[1], self.shape[0]), new_blocks
         )
 
+    def plan_spgemm(
+        self,
+        other: "DistSparseMatrix",
+        semiring: Semiring,
+        budget: MemoryBudget | None,
+        max_phases: int = 64,
+    ) -> SpgemmPlan:
+        """Symbolic planning pass for :meth:`spgemm` (see :class:`SpgemmPlan`)."""
+        return SpgemmPlan.choose(self, other, semiring, budget, max_phases)
+
     def spgemm(
         self,
         other: "DistSparseMatrix",
         semiring: Semiring,
         exclude_diagonal: bool = False,
         merge_mode: str = "bulk",
+        phases: int | None = None,
+        budget: MemoryBudget | None = None,
+        plan: SpgemmPlan | None = None,
     ) -> "DistSparseMatrix":
-        """SUMMA SpGEMM: ``C = self . other`` over ``semiring``.
+        """Column-blocked SUMMA SpGEMM: ``C = self . other`` over ``semiring``.
 
-        sqrt(P) stages; at stage ``s`` the owners of A's block-column ``s``
-        broadcast along their grid rows and the owners of B's block-row
-        ``s`` broadcast along their grid columns, then every rank multiplies
-        the received pair locally and accumulates.
+        The output columns are split into ``phases`` column blocks
+        (CombBLAS-style multi-phase SpGEMM); each phase runs sqrt(P) SUMMA
+        stages -- the owners of A's block-column ``s`` broadcast along
+        their grid rows, the owners of B's block-row ``s`` broadcast *only
+        the phase's column sub-panel* along their grid columns, every rank
+        multiplies and accumulates locally -- and then finalizes that
+        phase's output columns before the next phase starts.  Peak live
+        bytes is therefore (broadcast panel + one phase's partials +
+        finished output) instead of a whole-stage working set.
 
-        ``merge_mode`` selects the accumulation strategy -- the paper's §7
-        memory-reduction future work:
+        ``phases=1`` (the default) reproduces the classic unphased SUMMA
+        bit-identically.  Passing a :class:`~repro.mpi.memory.MemoryBudget`
+        (and no explicit ``phases``) runs the symbolic planner, which picks
+        the smallest phase count whose estimated peak fits the budget.
+
+        ``merge_mode`` selects the within-phase accumulation strategy --
+        the paper's §7 memory-reduction future work:
 
         * ``"bulk"`` (default, CombBLAS-style): keep every stage's partial
-          product and merge once at the end.  Fastest, but the transient
-          working set holds all sqrt(P) partials simultaneously.
+          product and merge once per phase.  Fastest, but the transient
+          working set holds all sqrt(P) partials of the phase
+          simultaneously.
         * ``"stream"``: fold each stage's partial into a running
           accumulator with an immediate semiring dedup.  Peak memory drops
           to (accumulator + one partial) at the cost of sqrt(P)-1 extra
-          merge passes -- the memory/compute trade for assembling large
-          genomes at low concurrency.
+          merge passes per phase.
 
-        Both modes report their transient working set to the world's
-        :class:`~repro.mpi.memory.MemoryMeter`.
+        All modes report their transient working set to the world's
+        :class:`~repro.mpi.memory.MemoryMeter`; with ``exclude_diagonal``
+        the diagonal mask is folded into the phase merge, so pruned
+        entries never count toward modeled memory.
         """
         if self.shape[1] != other.shape[0]:
             raise DistributionError(
@@ -361,86 +539,137 @@ class DistSparseMatrix:
         grid, world = self.grid, self.grid.world
         if other.grid is not grid:
             raise DistributionError("operands must share a process grid")
+        if phases is None:
+            if plan is None and budget is not None and not budget.unlimited:
+                plan = self.plan_spgemm(other, semiring, budget)
+            phases = plan.phases if plan is not None else 1
+        phases = int(phases)
+        if phases < 1:
+            raise DistributionError(f"phases must be >= 1, got {phases}")
         q = grid.q
+        nprocs = grid.nprocs
         out_shape = (self.shape[0], other.shape[1])
-        partials: list[list[LocalCoo]] = [[] for _ in range(grid.nprocs)]
-        acc: list[LocalCoo | None] = [None] * grid.nprocs
 
-        def _out_block_shape(rank: int) -> tuple[int, int]:
+        out_block_shape = []
+        offsets = []
+        for rank in range(nprocs):
             i, j = grid.coords_of(rank)
             rlo, rhi = grid.row_block(out_shape[0], i)
             clo, chi = grid.col_block(out_shape[1], j)
-            return (rhi - rlo, chi - clo)
+            out_block_shape.append((rhi - rlo, chi - clo))
+            offsets.append((rlo, clo))
 
-        # each rank's step touches only its own slot of partials/acc, so
-        # the superstep is safe under the concurrent executor backends
+        # phase column bounds are local to each grid column's block
+        def _phase_bounds(j: int, p: int) -> tuple[int, int]:
+            clo, chi = grid.col_block(out_shape[1], j)
+            return block_range(chi - clo, phases, p)
+
+        # per-rank accumulation state; each rank's step touches only its
+        # own slot, so the supersteps are safe under the concurrent
+        # executor backends.  partials/acc are per-phase (rebound at each
+        # phase start); finished_bytes tracks the bytes of already
+        # finalized phase outputs, which stay live to the end.
+        partials: list[list[LocalCoo]]
+        acc: list[LocalCoo | None]
+        finished: list[list[LocalCoo]] = [[] for _ in range(nprocs)]
+        finished_bytes = [0] * nprocs
+
         def _multiply_step(ctx, a_blk, b_blk):
             rank = int(ctx)
             part, flops = spgemm_local(a_blk, b_blk, semiring)
             ctx.charge_compute(max(flops, 1))
             received = a_blk.nbytes + b_blk.nbytes
+            base = finished_bytes[rank]
             if merge_mode == "bulk":
                 if part.nnz:
                     partials[rank].append(part)
                 live = sum(p.nbytes for p in partials[rank])
-                ctx.observe_memory(received + live)
+                ctx.observe_memory(base + received + live)
             else:
                 prev = acc[rank]
                 live = (prev.nbytes if prev is not None else 0) + part.nbytes
-                ctx.observe_memory(received + live)
+                ctx.observe_memory(base + received + live)
                 if part.nnz or prev is None:
                     pieces = [p for p in (prev, part) if p is not None]
                     merged = _concat_coo(
-                        _out_block_shape(rank), pieces, semiring.out_dtype
+                        out_block_shape[rank], pieces, semiring.out_dtype
                     )
                     merged = merged.deduped(semiring.add_reduce)
                     ctx.charge_compute(merged.nnz)
                     acc[rank] = merged
 
-        for s in range(q):
-            # broadcast A(:, s) along grid rows
-            a_recv: list[LocalCoo] = [None] * grid.nprocs
-            for i in range(q):
-                root_world_rank = grid.rank_of(i, s)
-                got = grid.row_comms[i].bcast(
-                    self.blocks[root_world_rank], root=s
-                )
-                for j in range(q):
-                    a_recv[grid.rank_of(i, j)] = got[j]
-            # broadcast B(s, :) along grid columns
-            b_recv: list[LocalCoo] = [None] * grid.nprocs
-            for j in range(q):
-                root_world_rank = grid.rank_of(s, j)
-                got = grid.col_comms[j].bcast(
-                    other.blocks[root_world_rank], root=s
-                )
-                for i in range(q):
-                    b_recv[grid.rank_of(i, j)] = got[i]
-            # local multiply-accumulate superstep
-            world.map_ranks(_multiply_step, a_recv, b_recv)
-
-        def _final_merge_step(ctx):
+        def _finalize_phase_step(ctx):
             rank = int(ctx)
             if merge_mode == "stream":
                 merged = (
                     acc[rank]
                     if acc[rank] is not None
-                    else LocalCoo.empty(_out_block_shape(rank), semiring.out_dtype)
+                    else LocalCoo.empty(out_block_shape[rank], semiring.out_dtype)
                 )
             else:
                 merged = _concat_coo(
-                    _out_block_shape(rank), partials[rank], semiring.out_dtype
+                    out_block_shape[rank], partials[rank], semiring.out_dtype
                 )
                 merged = merged.deduped(semiring.add_reduce)
                 ctx.charge_compute(merged.nnz)
-            ctx.observe_memory(merged.nbytes)
-            return merged
+            if exclude_diagonal:
+                # fold the diagonal mask into the phase merge: pruned
+                # entries never reach the finished working set
+                ctx.charge_compute(merged.nnz)
+                if merged.nnz:
+                    rlo, clo = offsets[rank]
+                    merged = merged.select(
+                        (merged.rows + rlo) != (merged.cols + clo)
+                    )
+            finished[rank].append(merged)
+            finished_bytes[rank] += merged.nbytes
+            ctx.observe_memory(finished_bytes[rank])
 
-        blocks = world.map_ranks(_final_merge_step)
-        result = DistSparseMatrix(grid, out_shape, blocks)
-        if exclude_diagonal:
-            result = result.prune(lambda v, r, c: r == c)
-        return result
+        def _assemble_step(ctx):
+            rank = int(ctx)
+            total = _concat_coo(
+                out_block_shape[rank], finished[rank], semiring.out_dtype
+            )
+            # phases partition the columns, so deduped() only restores the
+            # row-major order of the unphased merge -- no values change
+            total = total.deduped(semiring.add_reduce)
+            ctx.charge_compute(total.nnz)
+            ctx.observe_memory(total.nbytes)
+            return total
+
+        for p in range(phases):
+            partials = [[] for _ in range(nprocs)]
+            acc = [None] * nprocs
+            for s in range(q):
+                # broadcast A(:, s) along grid rows (full blocks, every phase)
+                a_recv: list[LocalCoo] = [None] * nprocs
+                for i in range(q):
+                    root_world_rank = grid.rank_of(i, s)
+                    got = grid.row_comms[i].bcast(
+                        self.blocks[root_world_rank], root=s
+                    )
+                    for j in range(q):
+                        a_recv[grid.rank_of(i, j)] = got[j]
+                # broadcast B(s, :)'s phase column sub-panels along grid columns
+                b_recv: list[LocalCoo] = [None] * nprocs
+                for j in range(q):
+                    root_world_rank = grid.rank_of(s, j)
+                    blk = other.blocks[root_world_rank]
+                    if phases > 1:
+                        lo, hi = _phase_bounds(j, p)
+                        blk = blk.select((blk.cols >= lo) & (blk.cols < hi))
+                    got = grid.col_comms[j].bcast(blk, root=s)
+                    for i in range(q):
+                        b_recv[grid.rank_of(i, j)] = got[i]
+                # local multiply-accumulate superstep
+                world.map_ranks(_multiply_step, a_recv, b_recv)
+            world.map_ranks(_finalize_phase_step)
+
+        if phases == 1:
+            blocks = [finished[rank][0] for rank in range(nprocs)]
+        else:
+            blocks = world.map_ranks(_assemble_step)
+        return DistSparseMatrix(grid, out_shape, blocks)
 
     def row_reduce(
         self, value_func: Callable[[np.ndarray], np.ndarray] | None = None

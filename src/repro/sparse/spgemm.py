@@ -17,10 +17,11 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import SparseFormatError
+from ..util import sorted_lookup
 from .coo import LocalCoo, segment_starts
 from .semiring import Semiring
 
-__all__ = ["spgemm_local", "expand_join"]
+__all__ = ["spgemm_local", "spgemm_symbolic", "expand_join"]
 
 
 def _cumsum0(counts: np.ndarray) -> np.ndarray:
@@ -63,6 +64,43 @@ def expand_join(
     a_take = sa[key_of_pair] + within // cb_of_pair
     b_take = sb[key_of_pair] + within % cb_of_pair
     return a_take, b_take
+
+
+def spgemm_symbolic(a: LocalCoo, b: LocalCoo) -> tuple[np.ndarray, np.ndarray]:
+    """Symbolic SpGEMM: per-output-column flop and nnz upper bounds.
+
+    The structural half of the multiplication only -- no payloads are
+    formed, no join is expanded.  For ``C = A . B`` this returns two
+    ``int64`` arrays of length ``b.shape[1]``:
+
+    * ``flops[c]``: the exact number of elementary products landing in
+      output column ``c`` (the sum over B entries ``(k, c)`` of the number
+      of A entries in column ``k``);
+    * ``nnz_ub[c]``: an upper bound on the nonzeros of output column ``c``
+      after the semiring reduction, ``min(flops[c], a.shape[0])``.
+
+    ``flops.sum()`` equals the ``flops`` count :func:`spgemm_local` reports
+    for the same operands.  The distributed layer's phase planner sums
+    these per-column bounds over SUMMA stages to size column phases
+    against a :class:`~repro.mpi.memory.MemoryBudget` without ever
+    materializing a partial product.
+    """
+    if a.shape[1] != b.shape[0]:
+        raise SparseFormatError(
+            f"inner dimensions disagree: {a.shape} x {b.shape}"
+        )
+    ncols = b.shape[1]
+    flops = np.zeros(ncols, dtype=np.int64)
+    if a.nnz == 0 or b.nnz == 0:
+        return flops, flops.copy()
+    # multiplicity of each contraction key (A column), then the expansion
+    # factor of every B entry is the multiplicity of its row key
+    a_keys, a_counts = np.unique(a.cols, return_counts=True)
+    found, pos = sorted_lookup(a_keys, b.rows)
+    per_entry = np.where(found, a_counts[pos], 0)
+    np.add.at(flops, b.cols, per_entry)
+    nnz_ub = np.minimum(flops, int(a.shape[0]))
+    return flops, nnz_ub
 
 
 def spgemm_local(

@@ -20,10 +20,11 @@ The result is the string matrix S consumed by contig generation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..mpi.memory import MemoryBudget
 from ..sparse.distmat import DistSparseMatrix
 from ..sparse.semiring import dirmin_semiring
 from ..sparse.types import SUFFIX_INF
@@ -38,6 +39,10 @@ class TransitiveReductionResult:
     S: DistSparseMatrix
     rounds: int
     removed_per_round: list[int]
+    #: SpGEMM phase count of every ``N = S (x) S`` round run, including
+    #: the final fixpoint-check round (1 = unphased; >1 when a memory
+    #: budget made the planner column-block the product)
+    phases_per_round: list[int] = field(default_factory=list)
 
     @property
     def total_removed(self) -> int:
@@ -45,12 +50,28 @@ class TransitiveReductionResult:
 
 
 def _removal_marks(
-    S: DistSparseMatrix, fuzz: int, merge_mode: str = "bulk"
-) -> tuple[list[np.ndarray], list[np.ndarray], int]:
+    S: DistSparseMatrix,
+    fuzz: int,
+    merge_mode: str = "bulk",
+    phases: int | None = None,
+    budget: MemoryBudget | None = None,
+) -> tuple[list[np.ndarray], list[np.ndarray], int, int]:
     """Per-rank global (row, col) lists of edges marked transitive."""
+    semiring = dirmin_semiring()
+    plan = None
+    if phases is None and budget is not None and not budget.unlimited:
+        # re-plan every round: S shrinks, so later rounds may need fewer
+        # phases than the first
+        plan = S.plan_spgemm(S, semiring, budget)
     N = S.spgemm(
-        S, dirmin_semiring(), exclude_diagonal=True, merge_mode=merge_mode
+        S,
+        semiring,
+        exclude_diagonal=True,
+        merge_mode=merge_mode,
+        phases=phases,
+        plan=plan,
     )
+    used_phases = phases if phases is not None else (plan.phases if plan else 1)
     joins = S.lookup_join(N)
     rows_per_rank: list[np.ndarray] = []
     cols_per_rank: list[np.ndarray] = []
@@ -71,7 +92,7 @@ def _removal_marks(
         rows_per_rank.append(blk.rows[transitive] + rlo)
         cols_per_rank.append(blk.cols[transitive] + clo)
         total += int(transitive.sum())
-    return rows_per_rank, cols_per_rank, total
+    return rows_per_rank, cols_per_rank, total, used_phases
 
 
 def transitive_reduction(
@@ -79,13 +100,25 @@ def transitive_reduction(
     fuzz: int = 100,
     max_rounds: int = 8,
     merge_mode: str = "bulk",
+    phases: int | None = None,
+    budget: MemoryBudget | None = None,
 ) -> TransitiveReductionResult:
-    """Iteratively remove transitive edges from R until a fixpoint."""
+    """Iteratively remove transitive edges from R until a fixpoint.
+
+    ``phases`` / ``budget`` propagate to the per-round ``N = S (x) S``
+    SpGEMM: an explicit phase count column-blocks every round, a
+    :class:`~repro.mpi.memory.MemoryBudget` lets the symbolic planner pick
+    the phase count per round.  Results are bit-identical either way.
+    """
     grid, world = R.grid, R.grid.world
     S = R
     removed_history: list[int] = []
+    phase_history: list[int] = []
     for _round in range(max_rounds):
-        rows_pr, cols_pr, marked = _removal_marks(S, fuzz, merge_mode)
+        rows_pr, cols_pr, marked, used_phases = _removal_marks(
+            S, fuzz, merge_mode, phases=phases, budget=budget
+        )
+        phase_history.append(used_phases)
         total_marked = world.comm.allreduce(
             [int(r.size) for r in rows_pr], lambda a, b: a + b
         )
@@ -109,16 +142,27 @@ def transitive_reduction(
             dtype=np.dtype(np.uint8),
         )
         joins = S.lookup_join(M)
-        new_blocks = []
-        removed = 0
-        for rank, (blk, (found, _mv)) in enumerate(zip(S.blocks, joins)):
-            new_blocks.append(blk.select(~found))
-            removed += int(found.sum())
-            world.charge_compute(rank, blk.nnz)
+        mark_bytes = [blk.nbytes for blk in M.blocks]
+
+        def _remove_step(ctx, blk, join, mblk_bytes):
+            found, mvals = join
+            ctx.charge_compute(blk.nnz)
+            # the mark-matrix block and the join mask/values stay live
+            # while the round rewrites the string-matrix block
+            join_bytes = int(found.nbytes + mvals.nbytes) if blk.nnz else 0
+            ctx.observe_memory(blk.nbytes + mblk_bytes + join_bytes)
+            return blk.select(~found), int(found.sum())
+
+        results = world.map_ranks(_remove_step, S.blocks, joins, mark_bytes)
+        new_blocks = [blk for blk, _ in results]
+        removed = sum(n for _, n in results)
         S = DistSparseMatrix(grid, S.shape, new_blocks)
         removed_history.append(removed)
         if removed == 0:
             break
     return TransitiveReductionResult(
-        S=S, rounds=len(removed_history), removed_per_round=removed_history
+        S=S,
+        rounds=len(removed_history),
+        removed_per_round=removed_history,
+        phases_per_round=phase_history,
     )

@@ -16,7 +16,7 @@ def make_S(grid, genome_len=2400, read_len=300, stride=120, k=15, pattern="forwa
     store = DistReadStore.from_global(grid, rs.reads)
     table = count_kmers(store, k, reliable_lo=1)
     A = build_kmer_matrix(store, table)
-    C = detect_overlaps(A)
+    C, _ = detect_overlaps(A)
     R, _ = build_overlap_graph(C, store, AlignmentParams(k=k, end_margin=5))
     S = transitive_reduction(R).S
     return genome, rs, store, S

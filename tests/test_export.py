@@ -29,7 +29,7 @@ def assembled():
     store = DistReadStore.from_global(grid, list(rs.reads))
     table = count_kmers(store, 21, reliable_lo=2)
     A = build_kmer_matrix(store, table)
-    C = detect_overlaps(A)
+    C, _ = detect_overlaps(A)
     R, _ = build_overlap_graph(
         C, store, AlignmentParams(k=21, xdrop=15, end_margin=5)
     )
@@ -162,7 +162,7 @@ class TestPaf:
         store = DistReadStore.from_global(grid, list(rs.reads))
         table = count_kmers(store, 21, reliable_lo=2)
         A = build_kmer_matrix(store, table)
-        C = detect_overlaps(A)
+        C, _ = detect_overlaps(A)
         R, _ = build_overlap_graph(
             C, store, AlignmentParams(k=21, xdrop=15, end_margin=5)
         )

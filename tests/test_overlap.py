@@ -21,7 +21,7 @@ def overlap_setup(grid, genome_len=2000, read_len=300, stride=120, k=15, pattern
 class TestDetect:
     def test_candidate_pairs_match_true_overlaps(self, grid4):
         genome, rs, store, A = overlap_setup(grid4)
-        C = detect_overlaps(A)
+        C, _ = detect_overlaps(A)
         assert C.dtype == SEED_DTYPE
         rows, cols, vals = C.to_global_coo()
         # neighbors in the tiling share 180bp => many kmers
@@ -34,26 +34,26 @@ class TestDetect:
 
     def test_pattern_symmetric(self, grid4):
         _, _, _, A = overlap_setup(grid4)
-        C = detect_overlaps(A)
+        C, _ = detect_overlaps(A)
         rows, cols, _ = C.to_global_coo()
         pairs = set(zip(rows.tolist(), cols.tolist()))
         assert all((c, r) in pairs for r, c in pairs)
 
     def test_min_shared_prunes(self, grid4):
         _, _, _, A = overlap_setup(grid4)
-        loose = detect_overlaps(A, min_shared=1)
-        strict = detect_overlaps(A, min_shared=50)
+        loose, _ = detect_overlaps(A, min_shared=1)
+        strict, _ = detect_overlaps(A, min_shared=50)
         assert strict.nnz() < loose.nnz()
 
     def test_seed_counts_positive(self, grid4):
         _, _, _, A = overlap_setup(grid4)
-        C = detect_overlaps(A)
+        C, _ = detect_overlaps(A)
         _, _, vals = C.to_global_coo()
         assert np.all(vals["count"] >= 1)
 
     def test_opposite_strand_seeds_flagged(self, grid4):
         genome, rs, store, A = overlap_setup(grid4, pattern="alternate")
-        C = detect_overlaps(A)
+        C, _ = detect_overlaps(A)
         _, _, vals = C.to_global_coo()
         # alternate tiling: adjacent overlaps are opposite-strand
         assert np.any(vals["same_strand"] == 0)
@@ -63,7 +63,7 @@ class TestDetect:
 class TestBuildOverlapGraph:
     def test_r_is_symmetric_with_mirrored_payloads(self, grid4):
         genome, rs, store, A = overlap_setup(grid4)
-        C = detect_overlaps(A)
+        C, _ = detect_overlaps(A)
         R, stats = build_overlap_graph(
             C, store, AlignmentParams(k=15, end_margin=5)
         )
@@ -78,7 +78,7 @@ class TestBuildOverlapGraph:
 
     def test_stats_accounting(self, grid4):
         genome, rs, store, A = overlap_setup(grid4)
-        C = detect_overlaps(A)
+        C, _ = detect_overlaps(A)
         _, stats = build_overlap_graph(C, store, AlignmentParams(k=15, end_margin=5))
         assert stats.pairs_aligned == C.nnz() // 2
         assert stats.dovetails > 0
@@ -89,7 +89,7 @@ class TestBuildOverlapGraph:
 
     def test_min_score_prunes_everything_when_absurd(self, grid4):
         genome, rs, store, A = overlap_setup(grid4)
-        C = detect_overlaps(A)
+        C, _ = detect_overlaps(A)
         R, stats = build_overlap_graph(
             C, store, AlignmentParams(k=15, min_score=10**9)
         )
@@ -103,7 +103,7 @@ class TestBuildOverlapGraph:
         store = DistReadStore.from_global(grid4, reads)
         table = count_kmers(store, 15, reliable_lo=1)
         A = build_kmer_matrix(store, table)
-        C = detect_overlaps(A)
+        C, _ = detect_overlaps(A)
         R, stats = build_overlap_graph(C, store, AlignmentParams(k=15, end_margin=5))
         assert stats.contained_reads >= 1
         rows, cols, _ = R.to_global_coo()
@@ -111,7 +111,7 @@ class TestBuildOverlapGraph:
 
     def test_suffix_values_sane(self, grid4):
         genome, rs, store, A = overlap_setup(grid4)
-        C = detect_overlaps(A)
+        C, _ = detect_overlaps(A)
         R, _ = build_overlap_graph(C, store, AlignmentParams(k=15, end_margin=5))
         _, _, vals = R.to_global_coo()
         assert np.all(vals["suffix"] >= 0)
@@ -123,7 +123,7 @@ class TestBuildOverlapGraph:
         genome, rs, store, A = overlap_setup(
             grid4, pattern="alternate", genome_len=1500, stride=150
         )
-        C = detect_overlaps(A)
+        C, _ = detect_overlaps(A)
         results = []
         for batch_size in (1, 7, 10**6):
             R, stats = build_overlap_graph(
@@ -146,7 +146,7 @@ class TestBuildOverlapGraph:
         store = DistReadStore.from_global(grid4, reads)
         table = count_kmers(store, 15, reliable_lo=1)
         A = build_kmer_matrix(store, table)
-        C = detect_overlaps(A)
+        C, _ = detect_overlaps(A)
         _, stats = build_overlap_graph(C, store, AlignmentParams(k=15, end_margin=5))
         ids = stats.contained_ids
         assert ids.dtype == np.int64

@@ -1,0 +1,461 @@
+"""Memory-budgeted phased SpGEMM: symbolic planner + column-blocked SUMMA.
+
+The contracts under test (ISSUE 5):
+
+* ``spgemm_symbolic`` bounds are exact on flops and upper bounds on nnz;
+* bulk / stream / phased (b in {1, 2, 4}) SpGEMM produce *bit-identical*
+  matrices under both the serial and thread executor backends;
+* for a fixed mode, clocks, comm logs and memory peaks are bit-identical
+  across backends;
+* ``phases=1`` reproduces the default path exactly (blocks, clocks,
+  comm log, memory);
+* stream / phased peak modeled bytes never exceed bulk's;
+* the planner picks a phase count whose estimated and observed peaks fit
+  a budget the unphased run violates, and budget violations are recorded
+  per stage when no plan can fit;
+* the pipeline / CLI wiring (``memory_budget_mb`` / ``--memory-budget-mb``)
+  is bit-identical to an unbudgeted run and surfaces violations.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import DistributionError, PipelineError
+from repro.mpi import MemoryBudget, MemoryMeter, ProcGrid, SimWorld, cori_haswell
+from repro.pipeline import PipelineConfig, run_pipeline
+from repro.seq import dna, tile_reads
+from repro.sparse import (
+    DistSparseMatrix,
+    LocalCoo,
+    SpgemmPlan,
+    arithmetic_semiring,
+    count_semiring,
+    spgemm_local,
+    spgemm_symbolic,
+)
+from repro.strgraph import transitive_reduction
+
+from tests.test_strgraph import build_R
+
+MODES = [("bulk", 1), ("bulk", 2), ("bulk", 4), ("stream", 1), ("stream", 2), ("stream", 4)]
+BACKENDS = ["serial", "thread"]
+
+
+def random_dist(grid, shape, density, seed):
+    rng = np.random.default_rng(seed)
+    n, m = shape
+    nnz = max(int(n * m * density), 1)
+    rows = rng.integers(0, n, size=nnz)
+    cols = rng.integers(0, m, size=nnz)
+    vals = rng.integers(1, 5, size=nnz).astype(np.int64)
+    keys = rows * m + cols
+    _, first = np.unique(keys, return_index=True)
+    return DistSparseMatrix.from_global_coo(
+        grid, shape, rows[first], cols[first], vals[first]
+    )
+
+
+def assert_blocks_identical(x: DistSparseMatrix, y: DistSparseMatrix, ctx=None):
+    assert x.shape == y.shape, ctx
+    for rank, (bx, by) in enumerate(zip(x.blocks, y.blocks)):
+        assert np.array_equal(bx.rows, by.rows), (ctx, rank)
+        assert np.array_equal(bx.cols, by.cols), (ctx, rank)
+        assert np.array_equal(bx.vals, by.vals), (ctx, rank)
+
+
+def world_accounting(world: SimWorld):
+    """Everything a backend could perturb: clocks, comm log, memory."""
+    clocks = {
+        s: world.clock.per_rank_seconds(s).copy() for s in world.clock.stages()
+    }
+    events = [
+        (e.op, e.stage, e.nprocs, e.total_bytes, e.max_bytes, e.messages,
+         e.modeled_seconds)
+        for e in world.log.events
+    ]
+    return clocks, events, world.memory.by_stage()
+
+
+def assert_accounting_equal(wa, wb, ctx=None):
+    ca, ea, ma = wa
+    cb, eb, mb = wb
+    assert list(ca) == list(cb), ctx
+    for s in ca:
+        assert np.array_equal(ca[s], cb[s]), (ctx, s)
+    assert ea == eb, ctx
+    assert ma == mb, ctx
+
+
+# ---------------------------------------------------------------------------
+# kernel: symbolic pass
+# ---------------------------------------------------------------------------
+
+
+class TestSpgemmSymbolic:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_flops_exact_and_nnz_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        n, k, m = rng.integers(1, 40, size=3)
+        da = (rng.random((n, k)) < 0.3) * rng.integers(1, 5, (n, k))
+        db = (rng.random((k, m)) < 0.3) * rng.integers(1, 5, (k, m))
+        a = LocalCoo.from_dense(da.astype(np.int64))
+        b = LocalCoo.from_dense(db.astype(np.int64))
+        flops, nnz_ub = spgemm_symbolic(a, b)
+        prod, actual_flops = spgemm_local(a, b, arithmetic_semiring(np.int64))
+        assert int(flops.sum()) == actual_flops
+        col_nnz = np.bincount(prod.cols, minlength=m)
+        assert (col_nnz <= nnz_ub).all()
+        assert (nnz_ub <= flops).all()
+
+    def test_empty_operands(self):
+        a = LocalCoo.empty((5, 4), np.dtype(np.int64))
+        b = LocalCoo.empty((4, 7), np.dtype(np.int64))
+        flops, nnz_ub = spgemm_symbolic(a, b)
+        assert flops.shape == (7,) and not flops.any()
+        assert nnz_ub.shape == (7,) and not nnz_ub.any()
+
+    def test_shape_mismatch_rejected(self):
+        from repro.errors import SparseFormatError
+
+        a = LocalCoo.empty((5, 4), np.dtype(np.int64))
+        b = LocalCoo.empty((5, 7), np.dtype(np.int64))
+        with pytest.raises(SparseFormatError):
+            spgemm_symbolic(a, b)
+
+
+# ---------------------------------------------------------------------------
+# distributed: modes x phases x backends property corpus
+# ---------------------------------------------------------------------------
+
+
+class TestPhasedIdentity:
+    @pytest.mark.parametrize("nprocs", [1, 4, 9, 16])
+    def test_modes_and_phases_bit_identical(self, nprocs):
+        """Every (mode, b) combination reproduces the default product
+        block-for-block, including rectangular shapes."""
+        world = SimWorld(nprocs, cori_haswell())
+        grid = ProcGrid(world)
+        A = random_dist(grid, (41, 29), 0.2, seed=nprocs + 1)
+        B = random_dist(grid, (29, 53), 0.25, seed=nprocs + 70)
+        sr = arithmetic_semiring(np.int64)
+        ref = A.spgemm(B, sr)
+        for mode, b in MODES:
+            C = A.spgemm(B, sr, merge_mode=mode, phases=b)
+            assert_blocks_identical(C, ref, ctx=(mode, b))
+
+    @pytest.mark.parametrize("exclude", [False, True])
+    def test_exclude_diagonal_folded_into_merge(self, exclude):
+        """The folded diagonal mask matches an explicit post-prune, for
+        every mode and phase count."""
+        world = SimWorld(9, cori_haswell())
+        grid = ProcGrid(world)
+        A = random_dist(grid, (33, 33), 0.3, seed=5)
+        sr = count_semiring()
+        full = A.spgemm(A, sr)
+        want = full.prune(lambda v, r, c: r == c) if exclude else full
+        for mode, b in MODES:
+            C = A.spgemm(A, sr, exclude_diagonal=exclude, merge_mode=mode, phases=b)
+            assert_blocks_identical(C, want, ctx=(mode, b, exclude))
+
+    def test_diagonal_prune_never_counts_toward_memory(self):
+        """exclude_diagonal can only shrink the observed working set."""
+        peaks = {}
+        for exclude in (False, True):
+            world = SimWorld(4, cori_haswell())
+            grid = ProcGrid(world)
+            A = random_dist(grid, (40, 40), 0.4, seed=9)
+            A.spgemm(A, count_semiring(), exclude_diagonal=exclude)
+            peaks[exclude] = world.memory.peak_overall()
+        assert peaks[True] <= peaks[False]
+
+    def test_phases_one_is_the_default_path(self):
+        """phases=1 must reproduce today's behavior bit-identically:
+        blocks, clocks, comm log and memory peaks."""
+        for mode in ("bulk", "stream"):
+            runs = {}
+            for phases in (None, 1):
+                world = SimWorld(16, cori_haswell())
+                grid = ProcGrid(world)
+                A = random_dist(grid, (50, 50), 0.25, seed=21)
+                C = A.spgemm(
+                    A, arithmetic_semiring(np.int64),
+                    merge_mode=mode, phases=phases,
+                )
+                runs[phases] = (C, world_accounting(world))
+            assert_blocks_identical(runs[None][0], runs[1][0], ctx=mode)
+            assert_accounting_equal(runs[None][1], runs[1][1], ctx=mode)
+
+    def test_invalid_phases_rejected(self):
+        world = SimWorld(4, cori_haswell())
+        grid = ProcGrid(world)
+        A = random_dist(grid, (10, 10), 0.3, seed=2)
+        with pytest.raises(DistributionError):
+            A.spgemm(A, arithmetic_semiring(np.int64), phases=0)
+
+    @pytest.mark.parametrize("mode,b", MODES)
+    def test_backends_identical_accounting(self, mode, b):
+        """For a fixed (mode, b), serial and thread executors produce
+        bit-identical matrices, clocks, comm logs and memory peaks."""
+        results = {}
+        for backend in BACKENDS:
+            world = SimWorld(16, cori_haswell(), executor=backend)
+            grid = ProcGrid(world)
+            A = random_dist(grid, (60, 44), 0.2, seed=33)
+            B = random_dist(grid, (44, 60), 0.25, seed=77)
+            with world.stage_scope("Mult"):
+                C = A.spgemm(
+                    B, arithmetic_semiring(np.int64),
+                    merge_mode=mode, phases=b,
+                )
+            results[backend] = (C, world_accounting(world))
+        assert_blocks_identical(
+            results["serial"][0], results["thread"][0], ctx=(mode, b)
+        )
+        assert_accounting_equal(
+            results["serial"][1], results["thread"][1], ctx=(mode, b)
+        )
+
+    def test_stream_and_phased_peaks_never_exceed_bulk(self):
+        peaks = {}
+        for mode, b in MODES:
+            world = SimWorld(16, cori_haswell())
+            grid = ProcGrid(world)
+            A = random_dist(grid, (80, 80), 0.3, seed=13)
+            A.spgemm(A, arithmetic_semiring(np.int64), merge_mode=mode, phases=b)
+            peaks[(mode, b)] = world.memory.peak_overall()
+        bulk = peaks[("bulk", 1)]
+        for key, peak in peaks.items():
+            assert peak <= bulk, (key, peak, bulk)
+        # more phases can only help on this transient-dominated input
+        assert peaks[("bulk", 4)] < peaks[("bulk", 1)]
+
+
+# ---------------------------------------------------------------------------
+# planner + budget
+# ---------------------------------------------------------------------------
+
+
+class TestPlanner:
+    def _operand(self, nprocs=16, seed=3):
+        world = SimWorld(nprocs, cori_haswell())
+        grid = ProcGrid(world)
+        return world, random_dist(grid, (80, 80), 0.3, seed=seed)
+
+    def test_unlimited_budget_plans_one_phase(self):
+        _, A = self._operand()
+        sr = arithmetic_semiring(np.int64)
+        for budget in (None, MemoryBudget(None)):
+            plan = A.plan_spgemm(A, sr, budget)
+            assert plan.phases == 1 and plan.fits
+
+    def test_estimate_is_an_upper_bound(self):
+        """A plan that fits guarantees the executor's modeled peak fits."""
+        world, A = self._operand()
+        sr = arithmetic_semiring(np.int64)
+        for b in (1, 2, 4):
+            plan = SpgemmPlan.choose(A, A, sr, MemoryBudget(1.0), max_phases=b)
+            est = plan.est_by_phases[b]
+            fresh_world, fresh_A = self._operand()
+            fresh_A.spgemm(fresh_A, sr, phases=b)
+            assert fresh_world.memory.peak_overall() <= est, b
+
+    def test_planner_fits_budget_unphased_violates(self):
+        world, A = self._operand()
+        sr = arithmetic_semiring(np.int64)
+        A.spgemm(A, sr)
+        bulk_peak = world.memory.peak_overall()
+
+        world2, A2 = self._operand()
+        budget = MemoryBudget(bulk_peak * 0.7)
+        plan = A2.plan_spgemm(A2, sr, budget)
+        assert plan.phases > 1
+        assert plan.fits
+        assert plan.est_peak_bytes <= budget.limit_bytes
+        C = A2.spgemm(A2, sr, budget=budget, plan=plan)
+        assert world2.memory.peak_overall() <= budget.limit_bytes
+        assert not budget.violations
+
+        world3, A3 = self._operand()
+        ref = A3.spgemm(A3, sr)
+        assert_blocks_identical(C, ref)
+
+    def test_budget_only_argument_plans_internally(self):
+        world, A = self._operand()
+        sr = arithmetic_semiring(np.int64)
+        A.spgemm(A, sr)
+        peak = world.memory.peak_overall()
+        world2, A2 = self._operand()
+        world2.memory.set_budget(MemoryBudget(peak * 0.7))
+        A2.spgemm(A2, sr, budget=world2.memory.budget)
+        assert world2.memory.peak_overall() <= peak * 0.7
+
+    def test_impossible_budget_records_violations(self):
+        world, A = self._operand()
+        budget = MemoryBudget(10.0)  # bytes: nothing fits
+        world.memory.set_budget(budget)
+        plan = A.plan_spgemm(A, arithmetic_semiring(np.int64), budget)
+        assert not plan.fits
+        with world.stage_scope("Mult"):
+            A.spgemm(A, arithmetic_semiring(np.int64), budget=budget, plan=plan)
+        assert budget.violations
+        assert budget.violated_stages() == ["Mult"]
+        report = world.memory.budget_report()
+        assert report["Mult"]["violations"] == len(
+            [v for v in budget.violations if v.stage == "Mult"]
+        )
+        assert report["Mult"]["headroom_bytes"] == 0.0
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            MemoryBudget(0)
+        b = MemoryBudget.from_mb(2.0)
+        assert b.limit_bytes == 2e6
+        assert b.headroom(1.5e6) == pytest.approx(0.5e6)
+        assert b.headroom(3e6) == 0.0
+        assert MemoryBudget.from_mb(None).unlimited
+        assert MemoryBudget(None).headroom() == float("inf")
+
+    def test_meter_budget_attribution(self):
+        meter = MemoryMeter(2)
+        budget = MemoryBudget(100.0)
+        meter.set_budget(budget)
+        meter.observe(0, 50.0, stage="a")
+        meter.observe(0, 150.0, stage="a")
+        meter.observe(1, 120.0, stage="b")
+        meter.observe(1, 110.0, stage="b")  # not a new high-water mark
+        assert [(v.stage, v.rank, v.nbytes) for v in budget.violations] == [
+            ("a", 0, 150.0),
+            ("b", 1, 120.0),
+        ]
+        assert budget.violations[0].excess_bytes == 50.0
+        assert budget.violated_stages() == ["a", "b"]
+        assert meter.budget_report()["b"]["peak_bytes"] == 120.0
+
+
+# ---------------------------------------------------------------------------
+# graph + pipeline wiring
+# ---------------------------------------------------------------------------
+
+
+class TestGraphAndPipelineWiring:
+    def test_transitive_reduction_budgeted_bit_identical(self, grid4):
+        _rs, _store, R = build_R(grid4, stride=100)
+        plain = transitive_reduction(R)
+        assert plain.phases_per_round and set(plain.phases_per_round) == {1}
+
+        world = SimWorld(4, cori_haswell())
+        grid = ProcGrid(world)
+        _rs, _store, R2 = build_R(grid, stride=100)
+        peak = 1.0  # impossible headroom: planner maxes phases
+        tr = transitive_reduction(R2, budget=MemoryBudget(peak))
+        assert max(tr.phases_per_round) > 1
+        assert_blocks_identical(tr.S, plain.S)
+        assert tr.removed_per_round == plain.removed_per_round
+
+    def test_transitive_reduction_observes_memory(self, grid4):
+        """The edge-removal round reports its mark-matrix + join working
+        set (it previously reported nothing)."""
+        _rs, _store, R = build_R(grid4, stride=100)
+        world = grid4.world
+        with world.stage_scope("TrRemove"):
+            result = transitive_reduction(R)
+        assert result.total_removed > 0
+        assert world.memory.stage_peak("TrRemove") > 0
+
+    @pytest.fixture(scope="class")
+    def readset(self):
+        rng = np.random.default_rng(17)
+        genome = dna.random_codes(rng, 3000)
+        return tile_reads(genome, 200, 80)
+
+    def test_pipeline_budget_bit_identical_and_fits(self, readset):
+        base = run_pipeline(readset, PipelineConfig(nprocs=16, k=21))
+        budget_mb = base.peak_memory_bytes * 0.6 / 1e6
+        res = run_pipeline(
+            readset,
+            PipelineConfig(nprocs=16, k=21, memory_budget_mb=budget_mb),
+        )
+        assert res.counts.get("overlap_spgemm_phases", 1) > 1
+        assert res.peak_memory_bytes <= budget_mb * 1e6
+        assert res.counts["budget_violations"] == 0
+        assert not res.budget_violations
+        a = sorted(c.sequence() for c in base.contigs.contigs)
+        b = sorted(c.sequence() for c in res.contigs.contigs)
+        assert a == b
+
+    def test_pipeline_impossible_budget_surfaces_violations(self, readset):
+        res = run_pipeline(
+            readset,
+            PipelineConfig(nprocs=4, k=21, memory_budget_mb=1e-6),
+        )
+        assert res.counts["budget_violations"] > 0
+        assert res.budget_violations
+        stages = {v.stage for v in res.budget_violations}
+        assert "DetectOverlap" in stages
+
+    def test_budget_audit_survives_world_reuse(self, readset):
+        """A reused world's stale meter high-water marks must not
+        suppress a later run's violation records, and an earlier result's
+        audit must not be rewritten by later runs."""
+        from repro.pipeline import Pipeline
+        from repro.seq import DistReadStore
+
+        world = SimWorld(4, cori_haswell())
+        grid = ProcGrid(world)
+        store = DistReadStore.from_global(grid, readset.reads)
+        pipe = Pipeline.default()
+        pipe.run(store, PipelineConfig(nprocs=4, k=21))  # unbudgeted warm-up
+        audited = pipe.run(
+            store, PipelineConfig(nprocs=4, k=21, memory_budget_mb=1e-6)
+        )
+        assert audited.counts["budget_violations"] > 0
+        n = len(audited.budget_violations)
+        pipe.run(store, PipelineConfig(nprocs=4, k=21))  # budget-free run
+        assert audited.memory_budget is not None
+        assert len(audited.budget_violations) == n
+
+    def test_memory_table_renders_budget(self, readset):
+        from repro.pipeline import memory_table
+
+        res = run_pipeline(
+            readset, PipelineConfig(nprocs=4, k=21, memory_budget_mb=1e-6)
+        )
+        text = memory_table("demo", [res])
+        assert "budget" in text and "violations" in text
+        assert "DetectOverlap" in text
+
+    def test_config_validation(self):
+        with pytest.raises(PipelineError):
+            PipelineConfig(nprocs=4, memory_budget_mb=-1).validate()
+        assert PipelineConfig(nprocs=4).memory_budget() is None
+        b = PipelineConfig(nprocs=4, memory_budget_mb=5.0).memory_budget()
+        assert b is not None and b.limit_bytes == 5e6
+
+    def test_budget_not_checkpoint_fingerprinted(self):
+        """Identical results => the budget must not invalidate checkpoints."""
+        from repro.pipeline import STAGE_REGISTRY
+
+        cfg_a = PipelineConfig(nprocs=4)
+        cfg_b = PipelineConfig(nprocs=4, memory_budget_mb=1.0)
+        for name, cls in STAGE_REGISTRY.items():
+            stage = cls()
+            assert stage.config_signature(cfg_a) == stage.config_signature(
+                cfg_b
+            ), name
+
+    def test_cli_flag_round_trip(self):
+        import argparse
+
+        from repro.cli.common import add_machine_arg, add_pipeline_args, build_pipeline_config
+
+        parser = argparse.ArgumentParser()
+        add_machine_arg(parser)
+        add_pipeline_args(parser)
+        args = parser.parse_args(["-P", "4", "--memory-budget-mb", "7.5"])
+        cfg = build_pipeline_config(args)
+        assert cfg.memory_budget_mb == 7.5
+        cfg.validate()
+        args = parser.parse_args(["-P", "4"])
+        assert build_pipeline_config(args).memory_budget_mb is None
+        with pytest.raises(SystemExit):
+            parser.parse_args(["--memory-budget-mb", "-3"])

@@ -64,7 +64,7 @@ def build_R(grid, stride, genome_len=2400, read_len=300, k=15, pattern="forward"
     store = DistReadStore.from_global(grid, rs.reads)
     table = count_kmers(store, k, reliable_lo=1)
     A = build_kmer_matrix(store, table)
-    C = detect_overlaps(A)
+    C, _ = detect_overlaps(A)
     R, _ = build_overlap_graph(C, store, AlignmentParams(k=k, end_margin=5))
     return rs, store, R
 

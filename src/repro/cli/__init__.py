@@ -10,13 +10,17 @@ Three commands mirror how the paper's artifact is driven:
 * ``repro-scaling``  -- sweep the pipeline over a list of grid sizes on a
   machine preset and print the Fig. 4/5-style scaling and breakdown
   tables.
+* ``repro-jobs``     -- drive the assembly-as-a-service job engine:
+  submit/list/status/watch/cancel jobs, run workers, and garbage-collect
+  the shared artifact cache.
 
 Each command is an ordinary ``main(argv) -> int`` so tests drive them
 in-process.
 """
 
 from .assemble import main as assemble_main
+from .jobs import main as jobs_main
 from .quality import main as quality_main
 from .scaling import main as scaling_main
 
-__all__ = ["assemble_main", "quality_main", "scaling_main"]
+__all__ = ["assemble_main", "jobs_main", "quality_main", "scaling_main"]

@@ -1,6 +1,6 @@
 """End-to-end pipeline: the stage engine, configuration, and reporting."""
 
-from .checkpoint import CheckpointStore
+from .checkpoint import CheckpointLoadError, CheckpointStore
 from .config import PipelineConfig
 from .elba import MAIN_STAGES, PipelineResult, run_pipeline
 from .engine import (
@@ -38,6 +38,7 @@ __all__ = [
     "STAGE_REGISTRY",
     "register_stage",
     "CheckpointStore",
+    "CheckpointLoadError",
     "ScalingPoint",
     "scaling_table",
     "breakdown_table",

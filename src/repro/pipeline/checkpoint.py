@@ -47,6 +47,7 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "CheckpointStore",
+    "CheckpointLoadError",
     "base_fingerprint",
     "pack_artifact",
     "unpack_artifact",
@@ -54,6 +55,16 @@ __all__ = [
 ]
 
 CHECKPOINT_VERSION = 1
+
+
+class CheckpointLoadError(PipelineError):
+    """A checkpoint that existed (or was expected) could not be rehydrated.
+
+    Raised when the file vanished between ``has`` and ``load`` (e.g. a
+    shared-cache eviction), was torn by a killed writer, carries a stale
+    format version, or fails to unpack.  The engine treats this as a cache
+    miss and recomputes the stage instead of failing the run.
+    """
 
 
 # ---------------------------------------------------------------------------
@@ -263,23 +274,80 @@ class CheckpointStore:
         }
         target = self.path(stage_name, fingerprint)
         # per-process tmp name: concurrent writers of the same checkpoint
-        # must not truncate each other before the atomic replace
+        # must not truncate each other before the atomic replace.  The
+        # write is crash-safe: a killed worker leaves at worst an orphaned
+        # ``*.tmp``, never a torn ``.ckpt`` under the target name.
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-        with os.fdopen(fd, "wb") as fh:
-            pickle.dump(blob, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, target)
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(blob, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
         return target
 
     def load(self, stage: "Stage", fingerprint: str, ctx: "RunContext") -> None:
-        """Rehydrate a stage's artifacts and counters into the context."""
-        with open(self.path(stage.name, fingerprint), "rb") as fh:
-            blob = pickle.load(fh)
-        if blob.get("version") != CHECKPOINT_VERSION:
-            raise PipelineError(
+        """Rehydrate a stage's artifacts and counters into the context.
+
+        Raises :class:`CheckpointLoadError` on any failure to read or
+        unpack, and commits nothing to ``ctx`` in that case -- a checkpoint
+        evicted or corrupted after :meth:`has` answered true degrades to a
+        recompute, never to a half-populated context.
+        """
+        path = self.path(stage.name, fingerprint)
+        try:
+            with open(path, "rb") as fh:
+                blob = pickle.load(fh)
+        except (OSError, EOFError, pickle.UnpicklingError, AttributeError,
+                ImportError, IndexError, MemoryError) as exc:
+            raise CheckpointLoadError(
+                f"cannot read checkpoint {path.name}: {exc}"
+            ) from exc
+        if not isinstance(blob, dict) or blob.get("version") != CHECKPOINT_VERSION:
+            got = blob.get("version") if isinstance(blob, dict) else type(blob)
+            raise CheckpointLoadError(
                 f"checkpoint version mismatch for {stage.name}: "
-                f"{blob.get('version')} != {CHECKPOINT_VERSION}"
+                f"{got} != {CHECKPOINT_VERSION}"
             )
-        for key, (tag, payload) in blob["artifacts"].items():
-            ctx.artifacts[key] = unpack_artifact(tag, payload, ctx)
+        # unpack everything before touching the context: a failure midway
+        # must not leave some artifacts rehydrated and others missing
+        try:
+            unpacked = {
+                key: unpack_artifact(tag, payload, ctx)
+                for key, (tag, payload) in blob["artifacts"].items()
+            }
+        except Exception as exc:
+            raise CheckpointLoadError(
+                f"cannot unpack checkpoint {path.name}: {exc}"
+            ) from exc
+        ctx.artifacts.update(unpacked)
         ctx.counts.update(blob["counts"])
         stage.after_load(ctx)
+
+    # -- cache-support surface ------------------------------------------
+    def entries(self) -> list[Path]:
+        """All checkpoint files under the root, sorted by name."""
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.ckpt"))
+
+    def nbytes(self, path: str | Path) -> int:
+        """On-disk size of one checkpoint file (0 when already gone)."""
+        try:
+            return (self.root / Path(path).name).stat().st_size
+        except OSError:
+            return 0
+
+    def delete(self, path: str | Path) -> bool:
+        """Remove one checkpoint file; True when a file was deleted."""
+        try:
+            os.unlink(self.root / Path(path).name)
+            return True
+        except OSError:
+            return False

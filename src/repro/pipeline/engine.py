@@ -29,9 +29,12 @@ bench harness watch a run without touching stage internals.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 from typing import Any, Sequence, TextIO
+
+import numpy as np
 
 from ..core.contig import STAGE_PREFIX, ContigSet
 from ..errors import PipelineError
@@ -192,6 +195,10 @@ class PipelineObserver:
     def on_stage_skip(self, stage: str, ctx: RunContext, reason: str) -> None:
         pass
 
+    def on_stage_note(self, stage: str, ctx: RunContext, note: str) -> None:
+        """An advisory event that is neither a skip nor an execution --
+        e.g. a checkpoint that vanished between ``has`` and ``load``."""
+
 
 class TraceObserver(PipelineObserver):
     """Prints a progress line per stage (the CLI's ``--trace`` output)."""
@@ -216,6 +223,9 @@ class TraceObserver(PipelineObserver):
     def on_stage_skip(self, stage: str, ctx: RunContext, reason: str) -> None:
         print(f"[pipeline] {stage} skipped ({reason})", file=self.out, flush=True)
 
+    def on_stage_note(self, stage: str, ctx: RunContext, note: str) -> None:
+        print(f"[pipeline] {stage}: {note}", file=self.out, flush=True)
+
 
 class CollectingObserver(PipelineObserver):
     """Records every hook call -- used by the bench harness and tests."""
@@ -224,6 +234,7 @@ class CollectingObserver(PipelineObserver):
         self.events: list[tuple[str, str]] = []  # (kind, stage)
         self.timings: dict[str, StageTiming] = {}
         self.skips: dict[str, str] = {}
+        self.notes: list[tuple[str, str]] = []  # (stage, note)
 
     def on_stage_start(self, stage: str, ctx: RunContext) -> None:
         self.events.append(("start", stage))
@@ -235,6 +246,10 @@ class CollectingObserver(PipelineObserver):
     def on_stage_skip(self, stage: str, ctx: RunContext, reason: str) -> None:
         self.events.append(("skip", stage))
         self.skips[stage] = reason
+
+    def on_stage_note(self, stage: str, ctx: RunContext, note: str) -> None:
+        self.events.append(("note", stage))
+        self.notes.append((stage, note))
 
 
 # ---------------------------------------------------------------------------
@@ -309,6 +324,62 @@ class PipelineResult:
     @property
     def modeled_total(self) -> float:
         return sum(self.main_stage_breakdown().values())
+
+    def contig_digest(self) -> str | None:
+        """Order-independent SHA-256 of the contig sequences.
+
+        Two runs produced bit-identical assemblies iff their digests match
+        -- the equality the job engine records so a resumed job can prove
+        it converged to the same answer as an uninterrupted one.
+        """
+        if self.contigs is None:
+            return None
+        h = hashlib.sha256()
+        for blob in sorted(
+            np.asarray(c.codes, dtype=np.uint8).tobytes()
+            for c in self.contigs.contigs
+        ):
+            h.update(blob)
+            h.update(b"\x00")
+        return h.hexdigest()
+
+    def summary(self) -> dict:
+        """A JSON-able digest of the run, suitable for a job record.
+
+        Only scalar counters survive (numpy scalars are converted,
+        non-scalar counts dropped); artifacts and matrices never leak in.
+        """
+        def scalar(v):
+            if isinstance(v, bool) or v is None or isinstance(v, str):
+                return v
+            if isinstance(v, (int, np.integer)):
+                return int(v)
+            if isinstance(v, (float, np.floating)):
+                return float(v)
+            return None
+
+        counts = {
+            k: scalar(v) for k, v in self.counts.items()
+            if scalar(v) is not None
+        }
+        return {
+            "contigs": None if self.contigs is None else self.contigs.count,
+            "total_bases": (
+                None if self.contigs is None else self.contigs.total_bases()
+            ),
+            "longest": None if self.contigs is None else self.contigs.longest(),
+            "contig_digest": self.contig_digest(),
+            "modeled_seconds": self.modeled_total,
+            "stage_seconds": self.main_stage_breakdown(),
+            "wall_seconds": (
+                self.report.wall_seconds if self.report is not None else None
+            ),
+            "peak_memory_bytes": self.peak_memory_bytes,
+            "budget_violations": len(self.budget_violations),
+            "stages_run": list(self.stages_run),
+            "stages_skipped": [list(t) for t in self.stages_skipped],
+            "counts": counts,
+        }
 
 
 # ---------------------------------------------------------------------------
@@ -465,7 +536,9 @@ class Pipeline:
         until: str | None = None,
         from_artifacts: dict[str, Any] | None = None,
         checkpoint_dir: str | None = None,
+        checkpoint_store: Any = None,
         keep_artifacts: bool | None = None,
+        observers: Sequence[PipelineObserver] = (),
     ) -> PipelineResult:
         """Execute the pipeline (or the demanded part of it).
 
@@ -487,14 +560,28 @@ class Pipeline:
         checkpoint_dir:
             Directory for stage checkpoints (created on demand); overrides
             the pipeline-level directory for this run.
+        checkpoint_store:
+            A prebuilt :class:`~repro.pipeline.checkpoint.CheckpointStore`
+            (or compatible wrapper, e.g. the job engine's
+            :class:`~repro.service.cache.SharedArtifactCache`) to use
+            instead of constructing one from ``checkpoint_dir``.
         keep_artifacts:
             Attach the artifact store to the result.  Defaults to on for
             partial/injected runs and ``config.keep_graphs`` runs.
+        observers:
+            Extra observers for this run only, notified after the
+            pipeline-level ones.
         """
         config = config or PipelineConfig()
         config.validate()
         machine = config.resolve_machine()
         t0 = time.perf_counter()
+
+        run_observers = self.observers + list(observers)
+
+        def notify(hook: str, *args) -> None:
+            for obs in run_observers:
+                getattr(obs, hook)(*args)
 
         ctx = self._build_context(reads, config, machine)
         if reads is None and not from_artifacts:
@@ -506,12 +593,16 @@ class Pipeline:
             for key, value in from_artifacts.items():
                 ctx.artifacts[key] = adopt_artifact(key, value, ctx)
 
-        ckpt_root = checkpoint_dir or self.checkpoint_dir
-        ckpt = None
-        if ckpt_root is not None and not injected:
-            from .checkpoint import CheckpointStore
+        ckpt = checkpoint_store
+        if ckpt is None:
+            ckpt_root = checkpoint_dir or self.checkpoint_dir
+            if ckpt_root is not None:
+                from .checkpoint import CheckpointStore
 
-            ckpt = CheckpointStore(ckpt_root)
+                ckpt = CheckpointStore(ckpt_root)
+        if injected:
+            # injected data has no config-derived provenance to fingerprint
+            ckpt = None
 
         stage_slice = self._slice(until)
         selected = self._plan(stage_slice, ctx.artifacts)
@@ -528,15 +619,26 @@ class Pipeline:
         for stage in stage_slice:
             if stage.name not in selected_names:
                 result.stages_skipped.append((stage.name, "artifact"))
-                self._notify("on_stage_skip", stage.name, ctx, "artifact")
+                notify("on_stage_skip", stage.name, ctx, "artifact")
                 continue
             if ckpt is not None:
                 fingerprint = ckpt.chain(fingerprint, stage, config)
                 if ckpt.has(stage.name, fingerprint):
-                    ckpt.load(stage, fingerprint, ctx)
-                    result.stages_skipped.append((stage.name, "checkpoint"))
-                    self._notify("on_stage_skip", stage.name, ctx, "checkpoint")
-                    continue
+                    from .checkpoint import CheckpointLoadError
+
+                    try:
+                        ckpt.load(stage, fingerprint, ctx)
+                    except CheckpointLoadError as exc:
+                        # evicted or torn between `has` and `load`: fall
+                        # back to recomputing the stage (TOCTOU-safe)
+                        notify(
+                            "on_stage_note", stage.name, ctx,
+                            f"checkpoint unavailable, recomputing: {exc}",
+                        )
+                    else:
+                        result.stages_skipped.append((stage.name, "checkpoint"))
+                        notify("on_stage_skip", stage.name, ctx, "checkpoint")
+                        continue
             missing = [k for k in stage.requires if k not in ctx.artifacts]
             if missing:
                 raise PipelineError(
@@ -544,7 +646,7 @@ class Pipeline:
                     f"{missing}; inject them via from_artifacts or include "
                     f"the producing stage"
                 )
-            self._notify("on_stage_start", stage.name, ctx)
+            notify("on_stage_start", stage.name, ctx)
             modeled0 = _modeled_seconds(ctx.world, stage.name)
             wall0 = time.perf_counter()
             with ctx.world.stage_scope(stage.name):
@@ -556,7 +658,7 @@ class Pipeline:
                 wall_seconds=time.perf_counter() - wall0,
             )
             result.stages_run.append(stage.name)
-            self._notify("on_stage_end", stage.name, ctx, timing)
+            notify("on_stage_end", stage.name, ctx, timing)
             if ckpt is not None:
                 counts_delta = {
                     k: v
@@ -568,7 +670,7 @@ class Pipeline:
         # stages beyond `until` are reported as skipped, not silently dropped
         for stage in self.stages[len(stage_slice):]:
             result.stages_skipped.append((stage.name, "until"))
-            self._notify("on_stage_skip", stage.name, ctx, "until")
+            notify("on_stage_skip", stage.name, ctx, "until")
 
         ctx.counts["peak_memory_bytes"] = ctx.world.memory.peak_overall()
         budget = ctx.world.memory.budget

@@ -1,0 +1,295 @@
+"""A shared, evicting artifact cache for the multi-tenant job engine.
+
+:class:`SharedArtifactCache` is a :class:`~repro.pipeline.checkpoint.
+CheckpointStore` with a **run-independent root**: because checkpoint files
+are keyed by the fingerprint chain (reads digest + config chain), two jobs
+sweeping downstream knobs over the same reads produce the *same* upstream
+fingerprints -- so job B's CountKmer/DetectOverlap/Alignment stages hit
+artifacts job A already paid for, across processes and process restarts.
+
+The cache adds what a long-lived shared root needs and a per-run directory
+does not:
+
+* **byte-size accounting** -- an LRU index (atomic JSON, like the job
+  store's records) tracking per-file size and last-use order;
+* **budgeted eviction** -- a configurable cache budget reusing the
+  :class:`~repro.mpi.memory.MemoryBudget` limit/headroom idiom; least
+  recently used unpinned entries are deleted until the total fits;
+* **pinning** -- a running job pins every checkpoint it loads or saves
+  (on disk, so *other* processes' evictions respect it too); eviction
+  never removes a pinned file, even when that leaves the cache over
+  budget;
+* **hit/miss/eviction counters** -- the observability the cross-job
+  reuse acceptance test asserts on.
+
+Eviction racing a reader is safe by construction: the engine's
+``has``/``load`` TOCTOU fallback recomputes a stage whose file vanished
+in between, and :meth:`load` raises the same
+:class:`~repro.pipeline.checkpoint.CheckpointLoadError` the engine
+already handles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from contextlib import contextmanager
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from ..errors import ReproError
+from ..mpi.memory import MemoryBudget
+from ..pipeline.checkpoint import CheckpointLoadError, CheckpointStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..pipeline.config import PipelineConfig
+    from ..pipeline.engine import RunContext, Stage
+
+__all__ = ["CacheError", "SharedArtifactCache"]
+
+
+class CacheError(ReproError):
+    """Invalid shared-cache usage."""
+
+
+class SharedArtifactCache(CheckpointStore):
+    """Budgeted, pin-aware LRU wrapper over the checkpoint format."""
+
+    INDEX_NAME = "_index.json"
+
+    def __init__(
+        self,
+        root: str | Path,
+        budget_mb: float | None = None,
+    ) -> None:
+        super().__init__(root)
+        self.budget = MemoryBudget.from_mb(budget_mb)
+        self.pins_dir = self.root / "_pins"
+        # in-process counters (per-worker observability)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.bytes_evicted = 0
+        self.load_failures = 0
+        self._active_pin: str | None = None
+
+    # -- index persistence ----------------------------------------------
+    def _index_path(self) -> Path:
+        return self.root / self.INDEX_NAME
+
+    def _read_index(self) -> dict:
+        try:
+            with open(self._index_path(), encoding="utf-8") as fh:
+                idx = json.load(fh)
+            if not isinstance(idx, dict):
+                return {"tick": 0, "files": {}}
+            idx.setdefault("tick", 0)
+            idx.setdefault("files", {})
+            return idx
+        except (OSError, json.JSONDecodeError):
+            return {"tick": 0, "files": {}}
+
+    def _write_index(self, idx: dict) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(idx, sort_keys=True).encode()
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(payload)
+            os.replace(tmp, self._index_path())
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _reconcile(self, idx: dict) -> dict:
+        """Fold untracked on-disk files in, drop entries whose file died."""
+        on_disk = {p.name: p.stat().st_size for p in self.entries()}
+        files = idx["files"]
+        for name in list(files):
+            if name not in on_disk:
+                del files[name]
+        for name, size in on_disk.items():
+            entry = files.setdefault(name, {"used": 0})
+            entry["bytes"] = size
+        return idx
+
+    def _touch(self, idx: dict, name: str) -> None:
+        idx["tick"] = int(idx["tick"]) + 1
+        entry = idx["files"].setdefault(name, {"bytes": self.nbytes(name)})
+        entry["used"] = idx["tick"]
+
+    # -- pinning ---------------------------------------------------------
+    def _pin_path(self, job_id: str) -> Path:
+        return self.pins_dir / f"{job_id}.json"
+
+    def pinned_files(self) -> set[str]:
+        """Union of every job's pinned checkpoint file names."""
+        pinned: set[str] = set()
+        if self.pins_dir.is_dir():
+            for path in self.pins_dir.glob("*.json"):
+                try:
+                    with open(path, encoding="utf-8") as fh:
+                        pinned.update(json.load(fh))
+                except (OSError, json.JSONDecodeError):
+                    continue
+        return pinned
+
+    def pin(self, job_id: str, name: str) -> None:
+        """Durably pin one checkpoint file on behalf of a job."""
+        self.pins_dir.mkdir(parents=True, exist_ok=True)
+        path = self._pin_path(job_id)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                names = set(json.load(fh))
+        except (OSError, json.JSONDecodeError):
+            names = set()
+        if name in names:
+            return
+        names.add(name)
+        fd, tmp = tempfile.mkstemp(dir=self.pins_dir, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(sorted(names), fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def unpin(self, job_id: str) -> None:
+        """Release every pin a job holds (idempotent)."""
+        try:
+            os.unlink(self._pin_path(job_id))
+        except OSError:
+            pass
+
+    @contextmanager
+    def pin_scope(self, job_id: str):
+        """While active, every save/load auto-pins its file for ``job_id``.
+
+        The pins outlive the scope on purpose -- they are released by
+        :meth:`unpin` when the job reaches a terminal state, so a worker
+        killed mid-job leaves its artifacts pinned for the adopter.
+        """
+        if self._active_pin is not None:
+            raise CacheError(
+                f"pin scope already active for job {self._active_pin!r}"
+            )
+        self._active_pin = job_id
+        try:
+            yield self
+        finally:
+            self._active_pin = None
+
+    # -- CheckpointStore overrides --------------------------------------
+    def has(self, stage_name: str, fingerprint: str) -> bool:
+        present = super().has(stage_name, fingerprint)
+        if not present:
+            self.misses += 1
+        return present
+
+    def load(self, stage: "Stage", fingerprint: str, ctx: "RunContext") -> None:
+        name = self.path(stage.name, fingerprint).name
+        try:
+            super().load(stage, fingerprint, ctx)
+        except CheckpointLoadError:
+            self.load_failures += 1
+            self.misses += 1
+            idx = self._reconcile(self._read_index())
+            self._write_index(idx)
+            raise
+        self.hits += 1
+        idx = self._read_index()
+        self._touch(idx, name)
+        self._write_index(idx)
+        if self._active_pin is not None:
+            self.pin(self._active_pin, name)
+
+    def save(self, stage_name, fingerprint, stage, ctx, counts_delta) -> Path:
+        target = super().save(stage_name, fingerprint, stage, ctx, counts_delta)
+        if self._active_pin is not None:
+            self.pin(self._active_pin, target.name)
+        idx = self._reconcile(self._read_index())
+        self._touch(idx, target.name)
+        self._write_index(idx)
+        self.evict_to_budget(idx)
+        return target
+
+    # -- accounting and eviction ----------------------------------------
+    def total_bytes(self) -> int:
+        """Bytes of checkpoint payload currently on disk."""
+        return sum(p.stat().st_size for p in self.entries())
+
+    def headroom(self) -> float:
+        """Bytes left under the cache budget (inf when unbudgeted)."""
+        return self.budget.headroom(self.total_bytes())
+
+    def evict_to_budget(self, idx: dict | None = None) -> list[str]:
+        """Delete LRU unpinned checkpoints until the total fits the budget.
+
+        Pinned files are never deleted; when only pinned payload remains
+        the cache is allowed to sit over budget (a running job's artifacts
+        must survive, exactly like the memory budget's audited overshoot).
+        """
+        if self.budget.unlimited:
+            return []
+        if idx is None:
+            idx = self._reconcile(self._read_index())
+        files = idx["files"]
+        total = sum(e.get("bytes", 0) for e in files.values())
+        if self.budget.fits(total):
+            self._write_index(idx)
+            return []
+        pinned = self.pinned_files()
+        victims = sorted(
+            (name for name in files if name not in pinned),
+            key=lambda n: files[n].get("used", 0),
+        )
+        evicted: list[str] = []
+        for name in victims:
+            if self.budget.fits(total):
+                break
+            size = files[name].get("bytes", 0)
+            if self.delete(name):
+                self.bytes_evicted += size
+            total -= size
+            del files[name]
+            evicted.append(name)
+            self.evictions += 1
+        self._write_index(idx)
+        return evicted
+
+    def gc(self, budget_mb: float | None = None) -> dict:
+        """Reconcile the index and evict to (an optionally tighter) budget.
+
+        Returns a stats dict including what was evicted.
+        """
+        if budget_mb is not None:
+            saved, self.budget = self.budget, MemoryBudget.from_mb(budget_mb)
+            try:
+                evicted = self.evict_to_budget()
+            finally:
+                self.budget = saved
+        else:
+            evicted = self.evict_to_budget()
+        return dict(self.stats(), gc_evicted=list(evicted))
+
+    def stats(self) -> dict:
+        """Counters plus the current on-disk picture."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "bytes_evicted": self.bytes_evicted,
+            "load_failures": self.load_failures,
+            "entries": len(self.entries()),
+            "total_bytes": self.total_bytes(),
+            "budget_bytes": self.budget.limit_bytes,
+            "pinned": len(self.pinned_files()),
+        }

@@ -1,0 +1,280 @@
+"""Scheduling and execution: turning queued job records into pipeline runs.
+
+A :class:`Worker` claims jobs in priority + FIFO order (the ordering lives
+in :func:`~repro.service.store.runnable_order`) and executes each one via
+the existing :class:`~repro.pipeline.Pipeline`, with the shared artifact
+cache as the run's checkpoint store.  A :class:`JobObserver` rides along:
+every stage event is appended to the job's durable event log (queryable
+while the job runs), per-stage progress lands in the job record, the lease
+is heartbeaten so a live worker is never mistaken for a dead one, and a
+cancel request observed at a stage boundary aborts the run.
+
+Crash injection for tests and CI: when ``REPRO_WORKER_KILL_AFTER=<stage>``
+is set, the worker SIGKILLs its own process the moment that stage
+completes -- the hard-death scenario the lease/adoption machinery and the
+kill-and-resume smoke test exercise.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import traceback
+from typing import TYPE_CHECKING, Sequence
+
+from ..pipeline import Pipeline, PipelineConfig, PipelineObserver
+from .store import JobError, JobRecord, JobSpec, JobStore
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..pipeline.engine import PipelineResult, RunContext, StageTiming
+    from .cache import SharedArtifactCache
+
+__all__ = [
+    "JobCancelled",
+    "JobObserver",
+    "Worker",
+    "materialize_spec",
+    "KILL_AFTER_ENV",
+]
+
+#: test/CI hook: SIGKILL the worker process after this stage completes
+KILL_AFTER_ENV = "REPRO_WORKER_KILL_AFTER"
+
+
+class JobCancelled(JobError):
+    """Raised inside a run when the job's cancel flag is observed."""
+
+
+# ---------------------------------------------------------------------------
+# spec materialization
+# ---------------------------------------------------------------------------
+
+
+def materialize_spec(spec: JobSpec) -> tuple[list, PipelineConfig]:
+    """Rebuild (reads, config) from a declarative job spec.
+
+    Deterministic by construction: the same spec yields byte-identical
+    reads in any process, which is what makes the fingerprint-keyed cache
+    shareable across jobs, workers and restarts.
+    """
+    source = dict(spec.source)
+    kind = source.pop("kind", None)
+    defaults: dict = {}
+    if kind == "simulate":
+        from ..seq.simulate import GenomeSpec, make_genome, tile_reads
+
+        genome = make_genome(
+            GenomeSpec(
+                length=int(source.get("length", 10_000)),
+                gc=float(source.get("gc", 0.5)),
+                seed=int(source.get("seed", 0)),
+            )
+        )
+        readset = tile_reads(
+            genome,
+            int(source.get("read_length", 400)),
+            int(source.get("stride", 150)),
+            source.get("strand", "forward"),
+        )
+        reads = readset.reads
+    elif kind == "preset":
+        from ..bench.harness import build_bench_dataset
+
+        ds = build_bench_dataset(source["name"], scale=source.get("scale"))
+        reads = list(ds.readset.reads)
+        defaults = dict(ds.config_kwargs, k=ds.k)
+    elif kind == "fasta":
+        from ..seq.fasta import read_fasta
+
+        _, reads = read_fasta(source["path"])
+        if not reads:
+            raise JobError(f"no sequences found in {source['path']!r}")
+    else:
+        raise JobError(
+            f"unknown read source kind {kind!r}; "
+            "options: simulate, preset, fasta"
+        )
+    try:
+        config = PipelineConfig(**{**defaults, **spec.config})
+    except TypeError as exc:
+        raise JobError(f"bad config override in job spec: {exc}") from exc
+    config.validate()
+    return reads, config
+
+
+# ---------------------------------------------------------------------------
+# the in-run observer
+# ---------------------------------------------------------------------------
+
+
+class JobObserver(PipelineObserver):
+    """Streams a running job's stage events into its durable record."""
+
+    def __init__(self, store: JobStore, record: JobRecord) -> None:
+        self.store = store
+        self.record = record
+
+    def _sync(self) -> None:
+        """Pick up external flags (cancel) and keep the lease fresh."""
+        try:
+            fresh = self.store.get(self.record.job_id)
+        except JobError:
+            return
+        self.record.cancel_requested = fresh.cancel_requested
+        if self.record.lease is not None:
+            self.record.lease = dict(
+                self.record.lease,
+                expires=self.store.clock() + self.store.lease_ttl,
+            )
+
+    def on_stage_start(self, stage: str, ctx: "RunContext") -> None:
+        self._sync()
+        if self.record.cancel_requested:
+            self.store.append_event(
+                self.record.job_id, "cancelling", stage=stage
+            )
+            raise JobCancelled(
+                f"job {self.record.job_id} cancelled before {stage}"
+            )
+        self.record.progress[stage] = "running"
+        self.store.save(self.record)
+        self.store.append_event(self.record.job_id, "stage_start", stage=stage)
+
+    def on_stage_end(
+        self, stage: str, ctx: "RunContext", timing: "StageTiming"
+    ) -> None:
+        self._sync()
+        self.record.progress[stage] = "done"
+        self.store.save(self.record)
+        self.store.append_event(
+            self.record.job_id,
+            "stage_end",
+            stage=stage,
+            modeled_seconds=timing.modeled_seconds,
+            wall_seconds=timing.wall_seconds,
+        )
+
+    def on_stage_skip(self, stage: str, ctx: "RunContext", reason: str) -> None:
+        self._sync()
+        self.record.progress[stage] = (
+            "cached" if reason == "checkpoint" else f"skipped:{reason}"
+        )
+        self.store.save(self.record)
+        self.store.append_event(
+            self.record.job_id, "stage_skip", stage=stage, reason=reason
+        )
+
+    def on_stage_note(self, stage: str, ctx: "RunContext", note: str) -> None:
+        self.store.append_event(
+            self.record.job_id, "note", stage=stage, note=note
+        )
+
+
+class _CrashInjector(PipelineObserver):
+    """SIGKILL our own process after a named stage (test/CI hook only)."""
+
+    def __init__(self, after_stage: str) -> None:
+        self.after_stage = after_stage
+
+    def on_stage_end(self, stage, ctx, timing) -> None:
+        if stage == self.after_stage:  # pragma: no cover - kills the process
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+# ---------------------------------------------------------------------------
+# the worker
+# ---------------------------------------------------------------------------
+
+
+class Worker:
+    """A claim-execute-finish loop over a job store + shared cache.
+
+    One worker processes one job at a time; run several workers (same or
+    different processes) against the same store root for concurrency.  A
+    worker that dies mid-job leaves a leased ``running`` record whose
+    lease expires; the next claim adopts it and the shared cache turns
+    the re-run into loads of everything already checkpointed.
+    """
+
+    def __init__(
+        self,
+        store: JobStore,
+        cache: "SharedArtifactCache",
+        worker_id: str | None = None,
+        observers: Sequence[PipelineObserver] = (),
+    ) -> None:
+        self.store = store
+        self.cache = cache
+        self.worker_id = worker_id or f"worker-{os.getpid()}"
+        self.extra_observers = list(observers)
+
+    def run_once(self) -> JobRecord | None:
+        """Claim and fully process one job; None when the queue is idle."""
+        record = self.store.claim_next(self.worker_id)
+        if record is None:
+            return None
+        return self._execute(record)
+
+    def drain(self, max_jobs: int | None = None) -> list[JobRecord]:
+        """Process jobs until the queue is empty (or ``max_jobs`` done)."""
+        done: list[JobRecord] = []
+        while max_jobs is None or len(done) < max_jobs:
+            record = self.run_once()
+            if record is None:
+                break
+            done.append(record)
+        return done
+
+    # -- internals -------------------------------------------------------
+    def _execute(self, record: JobRecord) -> JobRecord:
+        try:
+            reads, config = materialize_spec(record.spec)
+        except Exception as exc:
+            record = self.store.finish(
+                record, "failed", error=f"spec error: {exc}"
+            )
+            self.cache.unpin(record.job_id)
+            return record
+
+        pipeline = Pipeline.default()
+        for name in pipeline.stage_names:
+            record.progress.setdefault(name, "queued")
+        self.store.save(record)
+
+        observers: list[PipelineObserver] = [JobObserver(self.store, record)]
+        kill_after = os.environ.get(KILL_AFTER_ENV)
+        if kill_after:
+            observers.append(_CrashInjector(kill_after))
+        observers.extend(self.extra_observers)
+
+        hits0, misses0 = self.cache.hits, self.cache.misses
+        try:
+            with self.cache.pin_scope(record.job_id):
+                result = pipeline.run(
+                    reads,
+                    config,
+                    until=record.spec.until,
+                    checkpoint_store=self.cache,
+                    observers=observers,
+                )
+        except JobCancelled:
+            record = self.store.finish(record, "cancelled")
+        except Exception as exc:
+            tail = traceback.format_exc(limit=5)
+            record = self.store.finish(
+                record,
+                "failed",
+                error=f"{type(exc).__name__}: {exc}\n{tail}",
+            )
+        else:
+            summary = result.summary()
+            summary["stages_cached"] = sum(
+                1 for _, why in result.stages_skipped if why == "checkpoint"
+            )
+            summary["cache_hits"] = self.cache.hits - hits0
+            summary["cache_misses"] = self.cache.misses - misses0
+            record = self.store.finish(record, "done", summary=summary)
+        finally:
+            # terminal either way: release this job's pins so gc may evict
+            self.cache.unpin(record.job_id)
+        return record

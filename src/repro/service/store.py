@@ -1,0 +1,376 @@
+"""Crash-safe on-disk job records for the assembly-as-a-service engine.
+
+One JSON file per job under the store root.  Every write goes through a
+same-directory temp file plus :func:`os.replace`, so a killed worker can
+leave at worst an orphaned ``*.tmp`` -- never a torn record.  Liveness is
+lease-based: a worker claiming a job stamps it with a lease token and an
+expiry; a job whose worker died keeps state ``running`` until its lease
+expires, at which point any worker (typically a restarted one) may adopt
+it and resume from the shared artifact cache.
+
+The per-job event log (``<job>.events.jsonl``) is append-only newline
+JSON; readers skip torn trailing lines, so a log being appended by a
+worker that gets SIGKILLed mid-write stays readable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import asdict, dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Iterable
+
+from ..errors import ReproError
+
+__all__ = [
+    "JobError",
+    "JobSpec",
+    "JobRecord",
+    "JobStore",
+    "JOB_STATES",
+    "TERMINAL_STATES",
+    "runnable_order",
+]
+
+#: the job state machine: queued -> running -> done/failed/cancelled
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+class JobError(ReproError):
+    """Invalid job-store usage (unknown job, bad state transition)."""
+
+
+# ---------------------------------------------------------------------------
+# spec and record
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """A declarative, JSON-able description of one assembly job.
+
+    ``source`` names the read set (``{"kind": "simulate", ...}``,
+    ``{"kind": "preset", "name": ...}`` or ``{"kind": "fasta", "path":
+    ...}``); ``config`` holds :class:`~repro.pipeline.PipelineConfig`
+    overrides.  Keeping the spec declarative -- not pickled objects -- is
+    what lets a fresh worker process rebuild bit-identical inputs, which
+    the fingerprint-keyed artifact cache then turns into cross-job reuse.
+    """
+
+    source: dict
+    config: dict = field(default_factory=dict)
+    until: str | None = None
+    name: str = ""
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "JobSpec":
+        return cls(
+            source=dict(d.get("source", {})),
+            config=dict(d.get("config", {})),
+            until=d.get("until"),
+            name=d.get("name", ""),
+        )
+
+
+@dataclass
+class JobRecord:
+    """One job's durable state (the content of its JSON file)."""
+
+    job_id: str
+    spec: JobSpec
+    owner: str = "anon"
+    priority: int = 0
+    seq: int = 0
+    state: str = "queued"
+    attempts: int = 0
+    cancel_requested: bool = False
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    #: lease: {"worker": str, "token": str, "expires": float} or None
+    lease: dict | None = None
+    #: per-stage progress: name -> queued/running/done/cached
+    progress: dict = field(default_factory=dict)
+    error: str | None = None
+    summary: dict | None = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def lease_expired(self, now: float) -> bool:
+        return self.lease is None or now >= float(self.lease["expires"])
+
+    def stages_cached(self) -> int:
+        return sum(1 for v in self.progress.values() if v == "cached")
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["spec"] = self.spec.to_dict()
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "JobRecord":
+        d = dict(d)
+        d["spec"] = JobSpec.from_dict(d["spec"])
+        return cls(**d)
+
+
+def runnable_order(records: Iterable[JobRecord], now: float) -> list[JobRecord]:
+    """Claimable jobs, scheduling order: priority desc, then FIFO.
+
+    Claimable means ``queued``, or ``running`` with an expired lease (its
+    worker died -- adopting it is how restart-resume works).
+    """
+    ready = [
+        r
+        for r in records
+        if not r.cancel_requested
+        and (
+            r.state == "queued"
+            or (r.state == "running" and r.lease_expired(now))
+        )
+    ]
+    ready.sort(key=lambda r: (-r.priority, r.seq))
+    return ready
+
+
+# ---------------------------------------------------------------------------
+# the store
+# ---------------------------------------------------------------------------
+
+
+class JobStore:
+    """A directory of atomic per-job JSON records plus event logs."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        lease_ttl: float = 60.0,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if lease_ttl <= 0:
+            raise JobError(f"lease_ttl must be positive, got {lease_ttl}")
+        self.root = Path(root)
+        self.lease_ttl = float(lease_ttl)
+        self.clock = clock
+        self._claim_counter = 0
+
+    # -- paths -----------------------------------------------------------
+    def record_path(self, job_id: str) -> Path:
+        return self.root / f"{job_id}.json"
+
+    def events_path(self, job_id: str) -> Path:
+        return self.root / f"{job_id}.events.jsonl"
+
+    # -- record IO -------------------------------------------------------
+    def save(self, record: JobRecord) -> None:
+        """Atomically (re)write one job record."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(record.to_dict(), sort_keys=True).encode()
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.record_path(record.job_id))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def get(self, job_id: str) -> JobRecord:
+        path = self.record_path(job_id)
+        try:
+            with open(path, "rb") as fh:
+                return JobRecord.from_dict(json.load(fh))
+        except OSError as exc:
+            raise JobError(f"unknown job {job_id!r}") from exc
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            raise JobError(f"corrupt job record {path.name}: {exc}") from exc
+
+    def list_jobs(
+        self, state: str | None = None, owner: str | None = None
+    ) -> list[JobRecord]:
+        """All readable records, submission order; torn records skipped."""
+        records = []
+        if self.root.is_dir():
+            for path in sorted(self.root.glob("*.json")):
+                try:
+                    records.append(self.get(path.stem))
+                except JobError:
+                    continue
+        if state is not None:
+            records = [r for r in records if r.state == state]
+        if owner is not None:
+            records = [r for r in records if r.owner == owner]
+        records.sort(key=lambda r: r.seq)
+        return records
+
+    # -- lifecycle -------------------------------------------------------
+    def submit(
+        self,
+        spec: JobSpec,
+        owner: str = "anon",
+        priority: int = 0,
+    ) -> JobRecord:
+        """Create a new queued job; returns its durable record."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        existing = [r.seq for r in self.list_jobs()]
+        seq = (max(existing) + 1) if existing else 1
+        while True:
+            job_id = f"j{seq:05d}"
+            path = self.record_path(job_id)
+            try:
+                # O_EXCL creation reserves the id against concurrent
+                # submitters; the real payload lands via save() below
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                seq += 1
+                continue
+            os.close(fd)
+            break
+        record = JobRecord(
+            job_id=job_id,
+            spec=spec,
+            owner=owner,
+            priority=int(priority),
+            seq=seq,
+            submitted_at=self.clock(),
+        )
+        self.save(record)
+        self.append_event(job_id, "submitted", owner=owner, priority=priority)
+        return record
+
+    def claim_next(self, worker: str) -> JobRecord | None:
+        """Claim the best runnable job for ``worker`` (lease-stamped).
+
+        Adoption of an expired-lease ``running`` job bumps ``attempts``.
+        The claim is verify-after-write: the record is rewritten with a
+        fresh unique lease token and re-read; whoever's token survived the
+        last write owns the job.
+        """
+        now = self.clock()
+        for candidate in runnable_order(self.list_jobs(), now):
+            claimed = self._try_claim(candidate, worker, now)
+            if claimed is not None:
+                return claimed
+        return None
+
+    def _try_claim(
+        self, record: JobRecord, worker: str, now: float
+    ) -> JobRecord | None:
+        self._claim_counter += 1
+        token = f"{worker}#{os.getpid()}#{self._claim_counter}"
+        adopted = record.state == "running"
+        record = replace(
+            record,
+            state="running",
+            attempts=record.attempts + 1,
+            started_at=record.started_at if adopted else now,
+            lease={
+                "worker": worker,
+                "token": token,
+                "expires": now + self.lease_ttl,
+            },
+        )
+        self.save(record)
+        fresh = self.get(record.job_id)
+        if fresh.lease is None or fresh.lease.get("token") != token:
+            return None  # lost the race to another worker
+        self.append_event(
+            record.job_id,
+            "adopted" if adopted else "claimed",
+            worker=worker,
+            attempt=record.attempts,
+        )
+        return fresh
+
+    def heartbeat(self, record: JobRecord) -> JobRecord:
+        """Extend the caller's lease on a running job."""
+        if record.lease is None:
+            raise JobError(f"job {record.job_id} holds no lease")
+        record.lease = dict(record.lease, expires=self.clock() + self.lease_ttl)
+        self.save(record)
+        return record
+
+    def request_cancel(self, job_id: str) -> JobRecord:
+        """Cancel a queued job immediately; flag a running one to stop."""
+        record = self.get(job_id)
+        if record.terminal:
+            return record
+        if record.state == "queued":
+            record.state = "cancelled"
+            record.finished_at = self.clock()
+        record.cancel_requested = True
+        self.save(record)
+        self.append_event(job_id, "cancel_requested")
+        return record
+
+    def finish(
+        self,
+        record: JobRecord,
+        state: str,
+        error: str | None = None,
+        summary: dict | None = None,
+    ) -> JobRecord:
+        """Move a running job to a terminal state and drop its lease."""
+        if state not in TERMINAL_STATES:
+            raise JobError(f"not a terminal state: {state!r}")
+        record.state = state
+        record.error = error
+        if summary is not None:
+            record.summary = summary
+        record.finished_at = self.clock()
+        record.lease = None
+        self.save(record)
+        self.append_event(record.job_id, state, error=error)
+        return record
+
+    def requeue_orphans(self) -> list[JobRecord]:
+        """Re-queue running jobs whose lease expired (their worker died)."""
+        now = self.clock()
+        adopted = []
+        for record in self.list_jobs(state="running"):
+            if record.lease_expired(now) and not record.cancel_requested:
+                record.state = "queued"
+                record.lease = None
+                self.save(record)
+                self.append_event(record.job_id, "requeued")
+                adopted.append(record)
+        return adopted
+
+    # -- event log -------------------------------------------------------
+    def append_event(self, job_id: str, kind: str, **fields) -> None:
+        """Append one event line; single-line appends survive crashes."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        event = {"t": self.clock(), "event": kind, **fields}
+        line = json.dumps(event, sort_keys=True, default=str) + "\n"
+        with open(self.events_path(job_id), "a", encoding="utf-8") as fh:
+            fh.write(line)
+            fh.flush()
+
+    def events(self, job_id: str, since: int = 0) -> list[dict]:
+        """The job's event list (torn trailing lines are skipped)."""
+        path = self.events_path(job_id)
+        out: list[dict] = []
+        try:
+            with open(path, encoding="utf-8") as fh:
+                for line in fh:
+                    try:
+                        out.append(json.loads(line))
+                    except json.JSONDecodeError:
+                        continue
+        except OSError:
+            return []
+        return out[since:]

@@ -1,0 +1,171 @@
+"""Tests for the shared, evicting artifact cache (repro.service.cache)."""
+
+import pytest
+
+from repro import CollectingObserver, Pipeline, PipelineConfig
+from repro.seq import GenomeSpec, make_genome, tile_reads
+from repro.service import CacheError, SharedArtifactCache
+
+
+@pytest.fixture(scope="module")
+def reads():
+    genome = make_genome(GenomeSpec(length=2500, seed=51))
+    return tile_reads(genome, 350, 140)
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return PipelineConfig(nprocs=4, k=17, reliable_lo=1, end_margin=5)
+
+
+def _run(reads, cfg, cache, **kw):
+    return Pipeline.default().run(reads, cfg, checkpoint_store=cache, **kw)
+
+
+class TestCountersAndReuse:
+    def test_cold_run_misses_then_warm_run_hits(self, tmp_path, reads, cfg):
+        cache = SharedArtifactCache(tmp_path)
+        first = _run(reads, cfg, cache)
+        assert first.stages_run == Pipeline.default().stage_names
+        assert cache.misses == 5 and cache.hits == 0
+        assert cache.stats()["entries"] == 5
+
+        second = _run(reads, cfg, cache)
+        assert second.stages_run == []
+        assert cache.hits == 5
+        assert second.contig_digest() == first.contig_digest()
+
+    def test_downstream_knob_change_reuses_upstream(self, tmp_path, reads, cfg):
+        import dataclasses
+
+        cache = SharedArtifactCache(tmp_path)
+        _run(reads, cfg, cache)
+        hits0 = cache.hits
+        changed = dataclasses.replace(cfg, partition_method="greedy")
+        res = _run(reads, changed, cache)
+        assert res.stages_run == ["ExtractContig"]
+        assert cache.hits - hits0 == 4
+
+    def test_index_tracks_sizes(self, tmp_path, reads, cfg):
+        cache = SharedArtifactCache(tmp_path)
+        _run(reads, cfg, cache)
+        idx = cache._read_index()
+        assert len(idx["files"]) == 5
+        for name, entry in idx["files"].items():
+            assert entry["bytes"] == cache.nbytes(name) > 0
+        assert cache.total_bytes() == sum(
+            e["bytes"] for e in idx["files"].values()
+        )
+
+
+class TestEviction:
+    def _seed(self, cache, names, size=1000):
+        cache.root.mkdir(parents=True, exist_ok=True)
+        idx = cache._read_index()
+        for name in names:
+            (cache.root / name).write_bytes(b"x" * size)
+            idx = cache._reconcile(idx)
+            cache._touch(idx, name)
+        cache._write_index(idx)
+
+    def test_lru_eviction_to_budget(self, tmp_path):
+        cache = SharedArtifactCache(tmp_path)
+        self._seed(cache, ["A-1.ckpt", "B-2.ckpt", "C-3.ckpt", "D-4.ckpt"])
+        stats = cache.gc(budget_mb=0.002)  # 2000 bytes -> keep 2 newest
+        assert stats["gc_evicted"] == ["A-1.ckpt", "B-2.ckpt"]
+        assert sorted(p.name for p in cache.entries()) == [
+            "C-3.ckpt", "D-4.ckpt",
+        ]
+        assert cache.evictions == 2 and cache.bytes_evicted == 2000
+
+    def test_touch_on_load_refreshes_lru(self, tmp_path, reads, cfg):
+        cache = SharedArtifactCache(tmp_path)
+        _run(reads, cfg, cache)
+        # reload everything: CountKmer is touched first, ExtractContig last
+        _run(reads, cfg, cache)
+        idx = cache._read_index()
+        by_use = sorted(idx["files"], key=lambda n: idx["files"][n]["used"])
+        assert by_use[0].startswith("CountKmer")
+        assert by_use[-1].startswith("ExtractContig")
+
+    def test_pinned_entries_never_evicted(self, tmp_path):
+        cache = SharedArtifactCache(tmp_path)
+        self._seed(cache, ["A-1.ckpt", "B-2.ckpt"])
+        cache.pin("jobX", "A-1.ckpt")
+        stats = cache.gc(budget_mb=0.0005)  # 500 bytes: nothing fits
+        assert stats["gc_evicted"] == ["B-2.ckpt"]
+        # over budget, but the pinned file must survive
+        assert [p.name for p in cache.entries()] == ["A-1.ckpt"]
+        cache.unpin("jobX")
+        stats = cache.gc(budget_mb=0.0005)
+        assert stats["gc_evicted"] == ["A-1.ckpt"]
+
+    def test_budgeted_save_evicts_as_it_goes(self, tmp_path, reads, cfg):
+        # a budget big enough for roughly one artifact: the cache must
+        # stay near budget during the run instead of ballooning
+        cache = SharedArtifactCache(tmp_path, budget_mb=0.01)
+        res = _run(reads, cfg, cache)
+        assert res.contigs is not None
+        assert cache.evictions > 0
+        leftover = cache.total_bytes()
+        assert leftover <= 0.01 * 1e6 + max(
+            (cache.nbytes(p) for p in cache.entries()), default=0
+        )
+
+    def test_gc_with_oneoff_budget_keeps_configured(self, tmp_path):
+        cache = SharedArtifactCache(tmp_path, budget_mb=5.0)
+        self._seed(cache, ["A-1.ckpt"])
+        cache.gc(budget_mb=0.0001)
+        assert cache.budget.limit_bytes == 5.0 * 1e6
+        assert cache.entries() == []
+
+    def test_unbudgeted_cache_never_evicts(self, tmp_path):
+        cache = SharedArtifactCache(tmp_path)
+        self._seed(cache, ["A-1.ckpt", "B-2.ckpt"])
+        assert cache.evict_to_budget() == []
+        assert len(cache.entries()) == 2
+
+
+class TestPinScope:
+    def test_auto_pin_on_save_and_load(self, tmp_path, reads, cfg):
+        cache = SharedArtifactCache(tmp_path)
+        with cache.pin_scope("jobA"):
+            _run(reads, cfg, cache)
+        assert len(cache.pinned_files()) == 5
+        cache.unpin("jobA")
+        assert cache.pinned_files() == set()
+
+    def test_nested_pin_scope_rejected(self, tmp_path):
+        cache = SharedArtifactCache(tmp_path)
+        with cache.pin_scope("jobA"):
+            with pytest.raises(CacheError):
+                with cache.pin_scope("jobB"):
+                    pass
+
+    def test_unpin_unknown_job_is_noop(self, tmp_path):
+        SharedArtifactCache(tmp_path).unpin("nope")
+
+
+class TestCorruptionTolerance:
+    def test_torn_checkpoint_recomputed_with_note(self, tmp_path, reads, cfg):
+        cache = SharedArtifactCache(tmp_path)
+        first = _run(reads, cfg, cache)
+        victim = next(
+            p for p in cache.entries() if p.name.startswith("Alignment")
+        )
+        victim.write_bytes(b"torn checkpoint")
+        obs = CollectingObserver()
+        res = Pipeline.default(observers=[obs]).run(
+            reads, cfg, checkpoint_store=cache
+        )
+        assert cache.load_failures == 1
+        assert res.stages_run == ["Alignment"]
+        assert [s for s, _ in obs.notes] == ["Alignment"]
+        assert res.contig_digest() == first.contig_digest()
+
+    def test_corrupt_index_rebuilt(self, tmp_path, reads, cfg):
+        cache = SharedArtifactCache(tmp_path)
+        _run(reads, cfg, cache)
+        cache._index_path().write_text("not json")
+        fresh = SharedArtifactCache(tmp_path)
+        assert fresh.gc()["entries"] == 5

@@ -1,0 +1,205 @@
+"""Acceptance tests for the job engine (scheduler + API facade).
+
+Headline scenario from the PR issue: two jobs on the same reads with
+different contig-stage knobs -- the second must skip every upstream stage
+via shared-cache hits -- plus orphan adoption and pin-safe eviction.
+"""
+
+import pytest
+
+from repro.pipeline import PipelineObserver
+from repro.service import (
+    JobError,
+    JobService,
+    JobSpec,
+    materialize_spec,
+)
+
+SRC = {
+    "kind": "simulate",
+    "length": 2500,
+    "seed": 51,
+    "read_length": 350,
+    "stride": 140,
+}
+CFG = {"nprocs": 4, "k": 17, "reliable_lo": 1, "end_margin": 5}
+
+
+@pytest.fixture
+def svc(tmp_path):
+    return JobService(tmp_path)
+
+
+class TestMaterializeSpec:
+    def test_simulate_is_deterministic(self):
+        r1, c1 = materialize_spec(JobSpec(source=SRC, config=CFG))
+        r2, c2 = materialize_spec(JobSpec(source=SRC, config=CFG))
+        assert len(r1) == len(r2)
+        assert all((a == b).all() for a, b in zip(r1, r2))
+        assert c1 == c2 and c1.k == 17
+
+    def test_unknown_source_kind_rejected(self):
+        with pytest.raises(JobError):
+            materialize_spec(JobSpec(source={"kind": "carrier-pigeon"}))
+
+    def test_bad_config_key_rejected(self):
+        with pytest.raises(JobError):
+            materialize_spec(JobSpec(source=SRC, config={"warp_speed": 9}))
+
+
+class TestWorkerExecution:
+    def test_single_job_end_to_end(self, svc):
+        job_id = svc.submit(SRC, CFG, owner="alice")
+        done = svc.run_worker()
+        assert [r.job_id for r in done] == [job_id]
+        record = svc.status(job_id)
+        assert record.state == "done"
+        assert all(v == "done" for v in record.progress.values())
+        summary = svc.result(job_id)
+        assert summary["contigs"] == 1 and summary["total_bases"] == 2500
+        assert summary["stages_cached"] == 0
+        kinds = [e["event"] for e in svc.events(job_id)]
+        assert kinds[0] == "submitted" and kinds[-1] == "done"
+        assert kinds.count("stage_start") == 5 == kinds.count("stage_end")
+
+    def test_cross_job_artifact_reuse(self, svc):
+        """The headline: job B reuses job A's upstream artifacts."""
+        a = svc.submit(SRC, CFG, owner="alice")
+        b = svc.submit(SRC, {**CFG, "partition_method": "greedy"}, owner="bob")
+        svc.run_worker()
+        ra, rb = svc.result(a), svc.result(b)
+        assert ra["stages_cached"] == 0 and ra["cache_hits"] == 0
+        assert rb["stages_cached"] == 4 and rb["cache_hits"] == 4
+        prog = svc.status(b).progress
+        assert [prog[s] for s in
+                ("CountKmer", "DetectOverlap", "Alignment", "TrReduction")
+                ] == ["cached"] * 4
+        assert prog["ExtractContig"] == "done"
+        # same reads, same genome: both knobs produce the same assembly
+        assert ra["total_bases"] == rb["total_bases"] == 2500
+
+    def test_priority_runs_first(self, svc):
+        lo = svc.submit(SRC, CFG, priority=0)
+        hi = svc.submit(SRC, CFG, priority=7)
+        done = svc.run_worker()
+        assert [r.job_id for r in done] == [hi, lo]
+
+    def test_identical_specs_share_everything(self, svc):
+        a = svc.submit(SRC, CFG)
+        b = svc.submit(SRC, CFG)
+        svc.run_worker()
+        assert svc.result(b)["stages_cached"] == 5
+        assert svc.result(b)["contig_digest"] == svc.result(a)["contig_digest"]
+
+    def test_partial_job_with_until(self, svc):
+        job_id = svc.submit(SRC, CFG, until="TrReduction")
+        svc.run_worker()
+        summary = svc.result(job_id)
+        assert summary["contigs"] is None
+        assert summary["stages_run"] == [
+            "CountKmer", "DetectOverlap", "Alignment", "TrReduction",
+        ]
+
+    def test_failed_job_records_error(self, svc):
+        job_id = svc.submit(SRC, {**CFG, "bogus_knob": 1})
+        done = svc.run_worker()
+        assert done[0].state == "failed"
+        record = svc.status(job_id)
+        assert "bogus_knob" in record.error
+        with pytest.raises(JobError):
+            svc.result(job_id)
+
+    def test_idle_worker_returns_empty(self, svc):
+        assert svc.run_worker() == []
+
+    def test_max_jobs_bounds_drain(self, svc):
+        svc.submit(SRC, CFG)
+        svc.submit(SRC, CFG)
+        assert len(svc.run_worker(max_jobs=1)) == 1
+        assert len(svc.list_jobs(state="queued")) == 1
+
+
+class TestCancellation:
+    def test_cancel_queued_job_never_runs(self, svc):
+        job_id = svc.submit(SRC, CFG)
+        svc.cancel(job_id)
+        assert svc.run_worker() == []
+        assert svc.status(job_id).state == "cancelled"
+
+    def test_cancel_mid_run_stops_at_stage_boundary(self, svc):
+        job_id = svc.submit(SRC, CFG)
+
+        class CancelAfterOverlap(PipelineObserver):
+            def on_stage_end(self, stage, ctx, timing):
+                if stage == "DetectOverlap":
+                    svc.cancel(job_id)
+
+        worker = svc.worker(observers=[CancelAfterOverlap()])
+        done = worker.drain()
+        assert done[0].state == "cancelled"
+        record = svc.status(job_id)
+        assert record.progress["DetectOverlap"] == "done"
+        assert record.progress["ExtractContig"] == "queued"
+        assert "cancelling" in [e["event"] for e in svc.events(job_id)]
+
+    def test_cancelled_jobs_artifacts_unpinned(self, svc):
+        job_id = svc.submit(SRC, CFG)
+
+        class CancelEarly(PipelineObserver):
+            def on_stage_end(self, stage, ctx, timing):
+                if stage == "CountKmer":
+                    svc.cancel(job_id)
+
+        svc.worker(observers=[CancelEarly()]).drain()
+        assert svc.cache.pinned_files() == set()
+
+
+class TestAdoptionAndResume:
+    def test_resume_requeues_expired_orphans(self, tmp_path):
+        clock = [1000.0]
+        svc = JobService(tmp_path, lease_ttl=5.0, clock=lambda: clock[0])
+        svc.submit(SRC, CFG)
+        claimed = svc.store.claim_next("dead-worker")
+        assert claimed is not None
+        assert svc.resume() == []  # lease still live
+        clock[0] += 6.0
+        assert svc.resume() == [claimed.job_id]
+        done = svc.run_worker()
+        assert done[0].state == "done" and done[0].attempts == 2
+
+    def test_eviction_never_touches_running_jobs_pins(self, tmp_path):
+        """A tight cache budget must not evict a running job's artifacts."""
+        svc = JobService(tmp_path, cache_budget_mb=0.001)  # 1 kB: everything
+        job_id = svc.submit(SRC, CFG)                      # is over budget
+        done = svc.run_worker()
+        assert done[0].state == "done"
+        # every stage recorded as executed, none lost to mid-run eviction
+        assert svc.result(job_id)["stages_cached"] == 0
+        assert svc.cache.evictions == 0  # all files were pinned while running
+        # after the job finished its pins dropped: gc may now evict
+        stats = svc.gc()
+        assert len(stats["gc_evicted"]) == 5
+        assert svc.cache.total_bytes() == 0
+
+
+class TestFacade:
+    def test_events_unknown_job_raises(self, svc):
+        with pytest.raises(JobError):
+            svc.events("j00099")
+
+    def test_submit_requires_source_or_spec(self, svc):
+        with pytest.raises(JobError):
+            svc.submit()
+
+    def test_submit_prebuilt_spec(self, svc):
+        spec = JobSpec(source=SRC, config=CFG, name="prebuilt")
+        job_id = svc.submit(spec=spec, owner="carol", priority=2)
+        record = svc.status(job_id)
+        assert record.spec.name == "prebuilt" and record.priority == 2
+
+    def test_multitenant_listing(self, svc):
+        svc.submit(SRC, CFG, owner="alice")
+        svc.submit(SRC, CFG, owner="bob")
+        svc.submit(SRC, CFG, owner="alice")
+        assert len(svc.list_jobs(owner="alice")) == 2
+        assert len(svc.list_jobs()) == 3

@@ -1,0 +1,206 @@
+"""Unit tests for the crash-safe job store (repro.service.store)."""
+
+import json
+
+import pytest
+
+from repro.service import (
+    JobError,
+    JobRecord,
+    JobSpec,
+    JobStore,
+    runnable_order,
+)
+
+SRC = {"kind": "simulate", "length": 2000, "seed": 1}
+
+
+class FakeClock:
+    def __init__(self, start=1000.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def store(tmp_path, clock):
+    return JobStore(tmp_path, lease_ttl=10.0, clock=clock)
+
+
+class TestSubmitAndRecords:
+    def test_submit_assigns_sequential_ids(self, store):
+        a = store.submit(JobSpec(source=SRC))
+        b = store.submit(JobSpec(source=SRC))
+        assert (a.job_id, b.job_id) == ("j00001", "j00002")
+        assert a.state == "queued" and a.seq == 1 and b.seq == 2
+
+    def test_round_trip_preserves_spec(self, store):
+        spec = JobSpec(
+            source=SRC, config={"k": 17, "nprocs": 4}, until="Alignment",
+            name="sweep-a",
+        )
+        job_id = store.submit(spec, owner="alice", priority=3).job_id
+        got = store.get(job_id)
+        assert got.spec == spec
+        assert got.owner == "alice" and got.priority == 3
+
+    def test_get_unknown_job_raises(self, store):
+        with pytest.raises(JobError):
+            store.get("j99999")
+
+    def test_corrupt_record_raises_joberror(self, store):
+        job_id = store.submit(JobSpec(source=SRC)).job_id
+        store.record_path(job_id).write_text("{ torn")
+        with pytest.raises(JobError):
+            store.get(job_id)
+
+    def test_save_is_atomic_no_tmp_left(self, store):
+        record = store.submit(JobSpec(source=SRC))
+        store.save(record)
+        assert not list(store.root.glob("*.tmp"))
+
+    def test_list_filters_state_and_owner(self, store):
+        a = store.submit(JobSpec(source=SRC), owner="alice")
+        store.submit(JobSpec(source=SRC), owner="bob")
+        store.finish(a, "done")
+        assert [r.job_id for r in store.list_jobs(state="done")] == [a.job_id]
+        assert [r.owner for r in store.list_jobs(owner="bob")] == ["bob"]
+
+    def test_list_skips_torn_records(self, store):
+        store.submit(JobSpec(source=SRC))
+        (store.root / "j00002.json").write_text("not json")
+        assert len(store.list_jobs()) == 1
+
+
+class TestClaiming:
+    def test_priority_then_fifo(self, store):
+        low = store.submit(JobSpec(source=SRC), priority=0)
+        hi = store.submit(JobSpec(source=SRC), priority=9)
+        low2 = store.submit(JobSpec(source=SRC), priority=0)
+        order = [store.claim_next("w").job_id for _ in range(3)]
+        assert order == [hi.job_id, low.job_id, low2.job_id]
+
+    def test_claim_stamps_lease_and_attempts(self, store, clock):
+        store.submit(JobSpec(source=SRC))
+        record = store.claim_next("w1")
+        assert record.state == "running" and record.attempts == 1
+        assert record.lease["worker"] == "w1"
+        assert record.lease["expires"] == clock.now + 10.0
+
+    def test_live_lease_not_adoptable(self, store):
+        store.submit(JobSpec(source=SRC))
+        assert store.claim_next("w1") is not None
+        assert store.claim_next("w2") is None
+
+    def test_expired_lease_adopted_with_attempt_bump(self, store, clock):
+        store.submit(JobSpec(source=SRC))
+        first = store.claim_next("w1")
+        clock.advance(11.0)
+        adopted = store.claim_next("w2")
+        assert adopted.job_id == first.job_id
+        assert adopted.attempts == 2
+        assert adopted.lease["worker"] == "w2"
+        events = [e["event"] for e in store.events(first.job_id)]
+        assert "adopted" in events
+
+    def test_heartbeat_extends_lease(self, store, clock):
+        store.submit(JobSpec(source=SRC))
+        record = store.claim_next("w1")
+        clock.advance(8.0)
+        store.heartbeat(record)
+        clock.advance(8.0)  # 16s total, but lease renewed at t+8
+        assert store.claim_next("w2") is None
+
+    def test_empty_queue_returns_none(self, store):
+        assert store.claim_next("w") is None
+
+    def test_runnable_order_pure(self, clock):
+        r1 = JobRecord(job_id="a", spec=JobSpec(source=SRC), seq=1)
+        r2 = JobRecord(job_id="b", spec=JobSpec(source=SRC), seq=2, priority=5)
+        stale = JobRecord(
+            job_id="c", spec=JobSpec(source=SRC), seq=3, state="running",
+            lease={"worker": "w", "token": "t", "expires": clock.now - 1},
+        )
+        done = JobRecord(
+            job_id="d", spec=JobSpec(source=SRC), seq=4, state="done",
+        )
+        ordered = runnable_order([r1, r2, stale, done], clock.now)
+        assert [r.job_id for r in ordered] == ["b", "a", "c"]
+
+
+class TestCancelAndFinish:
+    def test_cancel_queued_is_immediate(self, store):
+        job_id = store.submit(JobSpec(source=SRC)).job_id
+        assert store.request_cancel(job_id).state == "cancelled"
+        assert store.claim_next("w") is None
+
+    def test_cancel_running_sets_flag_only(self, store):
+        store.submit(JobSpec(source=SRC))
+        record = store.claim_next("w")
+        flagged = store.request_cancel(record.job_id)
+        assert flagged.state == "running" and flagged.cancel_requested
+
+    def test_cancel_terminal_is_noop(self, store):
+        a = store.submit(JobSpec(source=SRC))
+        store.finish(a, "done")
+        assert store.request_cancel(a.job_id).state == "done"
+
+    def test_finish_rejects_non_terminal_state(self, store):
+        a = store.submit(JobSpec(source=SRC))
+        with pytest.raises(JobError):
+            store.finish(a, "queued")
+
+    def test_finish_drops_lease_and_stamps_time(self, store, clock):
+        store.submit(JobSpec(source=SRC))
+        record = store.claim_next("w")
+        done = store.finish(record, "done", summary={"contigs": 1})
+        assert done.lease is None
+        assert done.finished_at == clock.now
+        assert store.get(done.job_id).summary == {"contigs": 1}
+
+    def test_requeue_orphans(self, store, clock):
+        store.submit(JobSpec(source=SRC))
+        record = store.claim_next("w1")
+        assert store.requeue_orphans() == []  # lease still live
+        clock.advance(11.0)
+        requeued = store.requeue_orphans()
+        assert [r.job_id for r in requeued] == [record.job_id]
+        assert store.get(record.job_id).state == "queued"
+
+
+class TestEvents:
+    def test_submit_and_lifecycle_events(self, store):
+        a = store.submit(JobSpec(source=SRC))
+        store.claim_next("w")
+        store.finish(store.get(a.job_id), "done")
+        kinds = [e["event"] for e in store.events(a.job_id)]
+        assert kinds == ["submitted", "claimed", "done"]
+
+    def test_since_offset(self, store):
+        a = store.submit(JobSpec(source=SRC))
+        store.append_event(a.job_id, "x")
+        assert [e["event"] for e in store.events(a.job_id, since=1)] == ["x"]
+
+    def test_torn_trailing_line_skipped(self, store):
+        a = store.submit(JobSpec(source=SRC))
+        with open(store.events_path(a.job_id), "a") as fh:
+            fh.write('{"event": "torn...')
+        assert [e["event"] for e in store.events(a.job_id)] == ["submitted"]
+
+    def test_events_of_unlogged_job_empty(self, store):
+        assert store.events("j00042") == []
+
+    def test_event_lines_are_json(self, store):
+        a = store.submit(JobSpec(source=SRC), owner="alice", priority=2)
+        lines = store.events_path(a.job_id).read_text().splitlines()
+        parsed = [json.loads(line) for line in lines]
+        assert parsed[0]["owner"] == "alice" and parsed[0]["priority"] == 2

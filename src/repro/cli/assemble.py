@@ -7,6 +7,7 @@ import os
 import sys
 
 from ..bench.harness import build_bench_dataset
+from ..errors import FaultPlanError
 from ..pipeline import MAIN_STAGES, Pipeline, TraceObserver
 from ..quality import evaluate_assembly
 from ..scaffold import (
@@ -52,6 +53,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume-from", default=None, metavar="DIR",
         help="resume from an existing checkpoint directory: stages whose "
              "configuration is unchanged are loaded instead of recomputed",
+    )
+    parser.add_argument(
+        "--fault-plan", default=None, metavar="FILE",
+        help="inject a seeded JSON fault plan (repro.faults.FaultPlan "
+        "schema) into this run: rank crashes and stalls at superstep "
+        "boundaries, checkpoint corruption, cache-eviction races; the "
+        "engine recovers and reports every injection",
     )
     parser.add_argument(
         "--trace", action="store_true",
@@ -156,6 +164,11 @@ def main(argv: list[str] | None = None, out=None) -> int:
                 f"{estimate_depth(spec):.0f}x",
                 file=out,
             )
+        injector = None
+        if args.fault_plan:
+            from ..faults import FaultInjector, FaultPlan
+
+            injector = FaultInjector(FaultPlan.load(args.fault_plan))
         observers = [TraceObserver(out)] if args.trace else []
         pipeline = Pipeline.default(observers=observers)
         result = pipeline.run(
@@ -163,6 +176,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
             cfg,
             until=args.until,
             checkpoint_dir=_checkpoint_dir(args),
+            fault_injector=injector,
         )
 
         resumed = sum(1 for _, why in result.stages_skipped if why == "checkpoint")
@@ -170,6 +184,12 @@ def main(argv: list[str] | None = None, out=None) -> int:
             print(
                 f"resumed {resumed} stage(s) from checkpoint; modeled time "
                 f"covers executed stages only",
+                file=out,
+            )
+        if injector is not None:
+            print(
+                f"fault plan: injected {result.faults_injected} fault(s), "
+                f"recovered {len(result.recoveries)} stage failure(s)",
                 file=out,
             )
 
@@ -244,6 +264,9 @@ def main(argv: list[str] | None = None, out=None) -> int:
             print(f"wrote {len(seqs)} contigs to {args.output}", file=out)
         return 0
     except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FaultPlanError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -24,6 +24,8 @@ import os
 import sys
 import time
 
+from ..errors import FaultPlanError
+from ..faults import FaultPlan, RetryPolicy
 from ..service import JobError, JobService, TERMINAL_STATES
 from .common import CliError, positive_float, positive_int
 
@@ -104,6 +106,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seconds between event-log polls")
     p.add_argument("--timeout", type=positive_float, default=60.0,
                    help="give up after this many seconds")
+    p.add_argument("--follow", action="store_true",
+                   help="stream events incrementally (tail -f over the "
+                   "JSONL log, torn-line tolerant) instead of re-reading "
+                   "the whole log each poll")
 
     p = sub.add_parser("cancel", help="cancel a queued or running job")
     _add_root(p)
@@ -122,6 +128,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--adopt", action="store_true",
                    help="re-queue orphaned running jobs before draining")
     p.add_argument("--worker-id", default=None)
+    p.add_argument("--fault-plan", default=None, metavar="FILE",
+                   help="JSON fault plan (repro.faults.FaultPlan schema) "
+                   "injected into every job this worker runs")
+    p.add_argument("--max-attempts", type=positive_int, default=None,
+                   help="retry ceiling: a job failing this many attempts "
+                   "lands in terminal 'failed' instead of requeueing")
+    p.add_argument("--retry-base-delay", type=positive_float, default=None,
+                   help="first retry backoff in seconds (doubles per "
+                   "attempt, deterministic jitter)")
 
     return parser
 
@@ -130,7 +145,15 @@ def _service(args) -> JobService:
     if not args.root:
         raise CliError("--root (or $REPRO_JOBS_ROOT) is required")
     budget = getattr(args, "cache_budget_mb", None)
-    return JobService(args.root, cache_budget_mb=budget)
+    retry = None
+    overrides = {}
+    if getattr(args, "max_attempts", None) is not None:
+        overrides["max_attempts"] = args.max_attempts
+    if getattr(args, "retry_base_delay", None) is not None:
+        overrides["base_delay"] = args.retry_base_delay
+    if overrides:
+        retry = RetryPolicy(**overrides)
+    return JobService(args.root, cache_budget_mb=budget, retry=retry)
 
 
 def _source_from_args(args) -> dict:
@@ -207,16 +230,38 @@ def _cmd_status(svc: JobService, args, out) -> int:
     return 0
 
 
+def _print_event(event: dict, out) -> None:
+    fields = {k: v for k, v in event.items() if k not in ("t", "event")}
+    extra = f"  {json.dumps(fields, sort_keys=True)}" if fields else ""
+    print(f"{event['event']}{extra}", file=out)
+
+
 def _cmd_watch(svc: JobService, args, out) -> int:
-    seen = 0
+    svc.status(args.job_id)  # unknown job ids fail before we tail
     deadline = time.monotonic() + args.timeout
+    if args.follow:
+        # incremental tail over the JSONL log: no re-reads, and the
+        # generator drains once more after the job goes terminal so the
+        # final event is never missed
+        def should_stop() -> bool:
+            return (
+                svc.status(args.job_id).terminal
+                or time.monotonic() >= deadline
+            )
+
+        for event in svc.store.follow_events(
+            args.job_id, poll=args.poll, should_stop=should_stop
+        ):
+            _print_event(event, out)
+        record = svc.status(args.job_id)
+        if not record.terminal:
+            raise CliError(f"timed out watching {args.job_id}")
+        print(f"state: {record.state}", file=out)
+        return 0 if record.state == "done" else 1
+    seen = 0
     while True:
         for event in svc.events(args.job_id, since=seen):
-            fields = {
-                k: v for k, v in event.items() if k not in ("t", "event")
-            }
-            extra = f"  {json.dumps(fields, sort_keys=True)}" if fields else ""
-            print(f"{event['event']}{extra}", file=out)
+            _print_event(event, out)
             seen += 1
         record = svc.status(args.job_id)
         if record.terminal:
@@ -249,7 +294,14 @@ def _cmd_worker(svc: JobService, args, out) -> int:
     if args.adopt:
         for job_id in svc.resume():
             print(f"re-queued orphan {job_id}", file=out)
-    done = svc.run_worker(max_jobs=args.max_jobs, worker_id=args.worker_id)
+    fault_plan = (
+        FaultPlan.load(args.fault_plan) if args.fault_plan else None
+    )
+    done = svc.run_worker(
+        max_jobs=args.max_jobs,
+        worker_id=args.worker_id,
+        fault_plan=fault_plan,
+    )
     for record in done:
         cached = (record.summary or {}).get("stages_cached", 0)
         print(
@@ -279,7 +331,7 @@ def main(argv: list[str] | None = None, out=None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](_service(args), args, out)
-    except (CliError, JobError) as exc:
+    except (CliError, JobError, FaultPlanError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

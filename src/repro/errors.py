@@ -50,3 +50,30 @@ class AssemblyError(ReproError):
 
 class PipelineError(ReproError):
     """End-to-end pipeline configuration or stage-ordering error."""
+
+
+class RankFailure(ReproError):
+    """One simulated rank died mid-superstep (injected or detected).
+
+    Carries enough provenance (``rank``, ``stage``, ``superstep``) for the
+    engine's recovery path to record what it survived.  The superstep that
+    raised charges nothing -- accounting is transactional -- so a stage
+    re-executed after a :class:`RankFailure` is bit-identical to one that
+    never failed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        rank: int | None = None,
+        stage: str | None = None,
+        superstep: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.rank = rank
+        self.stage = stage
+        self.superstep = superstep
+
+
+class FaultPlanError(ReproError):
+    """A fault plan or retry policy is malformed (bad rule, bad JSON)."""

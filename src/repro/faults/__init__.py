@@ -1,0 +1,41 @@
+"""Deterministic fault injection and recovery policy.
+
+``repro.faults`` makes failure a first-class, reproducible input: a
+seeded :class:`FaultPlan` declares rank crashes, stragglers, checkpoint
+corruption, cache eviction races and worker kills; a
+:class:`FaultInjector` fires them at superstep, checkpoint, and worker
+boundaries; a :class:`RetryPolicy` bounds how the job engine retries
+what the plan breaks.  The system-level invariant the chaos suite
+enforces: under any plan that eventually stops injecting, the pipeline
+converges to a contig digest bit-identical to the fault-free run.
+"""
+
+from .injector import FaultInjector, InjectedWorkerDeath, describe_event
+from .plan import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultRule,
+    cache_evict_race,
+    checkpoint_corrupt,
+    rank_crash,
+    stall,
+    worker_kill,
+)
+from .retry import FAILURE_CLASSES, RetryPolicy, classify_failure
+
+__all__ = [
+    "FaultPlan",
+    "FaultRule",
+    "FaultInjector",
+    "InjectedWorkerDeath",
+    "RetryPolicy",
+    "FAULT_KINDS",
+    "FAILURE_CLASSES",
+    "classify_failure",
+    "describe_event",
+    "rank_crash",
+    "stall",
+    "checkpoint_corrupt",
+    "cache_evict_race",
+    "worker_kill",
+]

@@ -1,0 +1,107 @@
+"""Retry policy: attempts ceiling, exponential backoff, failure classes.
+
+The job store tracks ``attempts`` per job; a :class:`RetryPolicy` turns
+that counter into behavior.  Jittered exponential backoff is
+*deterministic* -- the jitter fraction is a hash of ``(seed, attempt)``,
+never wall-clock randomness -- so two runs of the same chaos scenario
+schedule bit-identical retry times and the suite stays reproducible.
+
+Failures are classified, not all treated alike: a rank failure or a torn
+checkpoint is transient and worth retrying; a bad config or an assembly
+invariant violation is permanent and must land in ``failed`` on the
+first strike.  ``retry_on`` names the retryable classes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import asdict, dataclass
+
+from ..errors import FaultPlanError, RankFailure
+
+__all__ = ["RetryPolicy", "FAILURE_CLASSES", "classify_failure"]
+
+#: retryable failure classes, checked in order (first match wins)
+FAILURE_CLASSES = ("rank_failure", "checkpoint", "io")
+
+
+def classify_failure(exc: BaseException) -> str | None:
+    """The failure class of an exception, or None for permanent errors."""
+    from ..pipeline.checkpoint import CheckpointLoadError
+
+    if isinstance(exc, RankFailure):
+        return "rank_failure"
+    if isinstance(exc, CheckpointLoadError):
+        return "checkpoint"
+    if isinstance(exc, OSError):
+        return "io"
+    return None
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to retry, how long to wait, and what qualifies."""
+
+    #: total execution attempts (first try included) before ``failed``
+    max_attempts: int = 5
+    base_delay: float = 0.5
+    factor: float = 2.0
+    max_delay: float = 30.0
+    #: jitter as a fraction of the raw delay (0.1 = up to +10%)
+    jitter: float = 0.1
+    seed: int = 0
+    retry_on: tuple[str, ...] = FAILURE_CLASSES
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "retry_on", tuple(self.retry_on))
+        if self.max_attempts < 1:
+            raise FaultPlanError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise FaultPlanError("retry delays must be >= 0")
+        if self.factor < 1.0:
+            raise FaultPlanError(f"factor must be >= 1, got {self.factor}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise FaultPlanError(f"jitter must be in [0, 1], got {self.jitter}")
+        unknown = set(self.retry_on) - set(FAILURE_CLASSES)
+        if unknown:
+            raise FaultPlanError(
+                f"unknown failure class(es) {sorted(unknown)}; "
+                f"options: {FAILURE_CLASSES}"
+            )
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff before attempt ``attempt + 1`` (``attempt`` failed tries).
+
+        Exponential in the number of failed attempts, capped at
+        ``max_delay``, plus a deterministic jitter fraction derived from
+        ``(seed, attempt)``.
+        """
+        if attempt < 1:
+            return 0.0
+        raw = min(self.max_delay, self.base_delay * self.factor ** (attempt - 1))
+        digest = hashlib.sha256(
+            f"{self.seed}:{attempt}".encode()
+        ).digest()
+        frac = int.from_bytes(digest[:8], "big") / 2**64
+        return raw * (1.0 + self.jitter * frac)
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        cls = classify_failure(exc)
+        return cls is not None and cls in self.retry_on
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["retry_on"] = list(self.retry_on)
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "RetryPolicy":
+        d = dict(d)
+        if "retry_on" in d:
+            d["retry_on"] = tuple(d["retry_on"])
+        try:
+            return cls(**d)
+        except TypeError as exc:
+            raise FaultPlanError(f"bad retry policy {d!r}: {exc}") from exc

@@ -129,6 +129,9 @@ class SimWorld:
         self._stage_local = threading.local()
         self._stage_local.stack = ["default"]
         self._in_rank_step = threading.local()
+        #: optional FaultInjector consulted at every superstep boundary
+        #: (duck-typed so the MPI layer stays decoupled from repro.faults)
+        self.fault_injector = None
         self._executor = make_executor(executor)
         self.comm = SimComm(self, list(range(nprocs)), label="world")
 
@@ -214,6 +217,20 @@ class SimWorld:
             for r in range(self.nprocs)
         ]
 
+        # fault injection decisions are made once per superstep, before
+        # the executor launches anything, so every backend sees the same
+        # crashes (raised inside the step, so accounting stays
+        # transactional) and the same stragglers (charged after success)
+        crash_actions: dict[int, dict] = {}
+        stall_actions: list[dict] = []
+        injector = self.fault_injector
+        if injector is not None:
+            for action in injector.superstep_actions(base_stage):
+                if action["kind"] == "rank_crash":
+                    crash_actions[action["rank"]] = action
+                else:
+                    stall_actions.append(action)
+
         # while a step runs, direct world accounting is an error on BOTH
         # backends (under threads it would silently mis-attribute stages;
         # raising keeps the backend-identical contract enforceable)
@@ -221,6 +238,9 @@ class SimWorld:
             prior = getattr(self._in_rank_step, "active", False)
             self._in_rank_step.active = True
             try:
+                action = crash_actions.get(int(ctx))
+                if action is not None:
+                    raise injector.crash_failure(action)
                 return fn(ctx, *args)
             finally:
                 self._in_rank_step.active = prior
@@ -228,6 +248,12 @@ class SimWorld:
         results = self._executor.run(_guarded, tasks)
         for ctx in ctxs:
             ctx._merge()
+        for action in stall_actions:
+            if 0 <= action["rank"] < self.nprocs:
+                with self.account_lock:
+                    self.clock.charge_compute(
+                        self.stage, action["rank"], action["seconds"]
+                    )
         return results
 
     def _check_not_in_rank_step(self, what: str) -> None:

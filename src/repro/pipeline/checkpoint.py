@@ -54,7 +54,14 @@ __all__ = [
     "adopt_artifact",
 ]
 
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
+
+#: on-disk frame: MAGIC + sha256(payload) + pickled payload.  The digest
+#: makes *any* on-disk corruption -- a flipped bit as much as a truncation
+#: -- a detected :class:`CheckpointLoadError` (degrading to recompute)
+#: instead of silently rehydrating altered artifacts.
+CHECKPOINT_MAGIC = b"RPROCKPT"
+_HEADER_LEN = len(CHECKPOINT_MAGIC) + 32
 
 
 class CheckpointLoadError(PipelineError):
@@ -277,10 +284,14 @@ class CheckpointStore:
         # must not truncate each other before the atomic replace.  The
         # write is crash-safe: a killed worker leaves at worst an orphaned
         # ``*.tmp``, never a torn ``.ckpt`` under the target name.
+        payload = pickle.dumps(blob, protocol=pickle.HIGHEST_PROTOCOL)
+        framed = (
+            CHECKPOINT_MAGIC + hashlib.sha256(payload).digest() + payload
+        )
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(blob, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(framed)
                 fh.flush()
                 os.fsync(fh.fileno())
             os.replace(tmp, target)
@@ -303,8 +314,25 @@ class CheckpointStore:
         path = self.path(stage.name, fingerprint)
         try:
             with open(path, "rb") as fh:
-                blob = pickle.load(fh)
-        except (OSError, EOFError, pickle.UnpicklingError, AttributeError,
+                raw = fh.read()
+        except OSError as exc:
+            raise CheckpointLoadError(
+                f"cannot read checkpoint {path.name}: {exc}"
+            ) from exc
+        if len(raw) < _HEADER_LEN or not raw.startswith(CHECKPOINT_MAGIC):
+            raise CheckpointLoadError(
+                f"checkpoint {path.name} has no valid header "
+                f"(truncated, foreign, or pre-checksum format)"
+            )
+        payload = raw[_HEADER_LEN:]
+        if hashlib.sha256(payload).digest() != raw[len(CHECKPOINT_MAGIC):_HEADER_LEN]:
+            raise CheckpointLoadError(
+                f"checkpoint {path.name} failed its integrity check "
+                f"(corrupted on disk)"
+            )
+        try:
+            blob = pickle.loads(payload)
+        except (EOFError, pickle.UnpicklingError, AttributeError,
                 ImportError, IndexError, MemoryError) as exc:
             raise CheckpointLoadError(
                 f"cannot read checkpoint {path.name}: {exc}"

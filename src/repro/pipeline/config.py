@@ -73,6 +73,14 @@ class PipelineConfig:
     # are bit-identical at any phase count, so -- like align_batch_size --
     # this is deliberately not checkpoint-fingerprinted.
     memory_budget_mb: float | None = None
+    # how many times the engine re-executes a stage after a rank failure
+    # (injected or detected) before giving up.  Recovery rolls the stage's
+    # artifacts back and replays it from its checkpointed inputs --
+    # transactional superstep accounting guarantees the failed attempt
+    # charged nothing -- so a recovered run is bit-identical to an
+    # undisturbed one and, like executor, this knob is deliberately not
+    # checkpoint-fingerprinted
+    stage_max_retries: int = 3
     # retain the intermediate R (overlap) and S (string) matrices on the
     # result for inspection/export (GFA/PAF); off by default since they
     # are the run's largest objects
@@ -118,6 +126,10 @@ class PipelineConfig:
             raise PipelineError(
                 f"unknown executor {self.executor!r}; "
                 f"options: {list(EXECUTOR_BACKENDS)}"
+            )
+        if self.stage_max_retries < 0:
+            raise PipelineError(
+                f"stage_max_retries must be >= 0, got {self.stage_max_retries}"
             )
         if self.reliable_hi is not None and self.reliable_hi < self.reliable_lo:
             raise PipelineError(

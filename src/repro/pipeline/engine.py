@@ -37,7 +37,7 @@ from typing import Any, Sequence, TextIO
 import numpy as np
 
 from ..core.contig import STAGE_PREFIX, ContigSet
-from ..errors import PipelineError
+from ..errors import PipelineError, RankFailure
 from ..mpi.comm import SimWorld
 from ..mpi.costmodel import MachineModel
 from ..mpi.grid import ProcGrid
@@ -281,6 +281,11 @@ class PipelineResult:
     artifacts: dict[str, Any] = field(default_factory=dict)
     stages_run: list[str] = field(default_factory=list)
     stages_skipped: list[tuple[str, str]] = field(default_factory=list)
+    #: stage recoveries performed this run: each entry records the stage,
+    #: the failing rank/superstep, and which attempt the re-execution was
+    recoveries: list[dict] = field(default_factory=list)
+    #: faults an attached injector fired during this run
+    faults_injected: int = 0
     #: this run's MemoryBudget, snapshotted at run end (budgets are
     #: per-run objects, so a later run on the same world cannot rewrite
     #: an earlier result's audit)
@@ -378,6 +383,8 @@ class PipelineResult:
             "budget_violations": len(self.budget_violations),
             "stages_run": list(self.stages_run),
             "stages_skipped": [list(t) for t in self.stages_skipped],
+            "recoveries": [dict(r) for r in self.recoveries],
+            "faults_injected": self.faults_injected,
             "counts": counts,
         }
 
@@ -539,6 +546,7 @@ class Pipeline:
         checkpoint_store: Any = None,
         keep_artifacts: bool | None = None,
         observers: Sequence[PipelineObserver] = (),
+        fault_injector: Any = None,
     ) -> PipelineResult:
         """Execute the pipeline (or the demanded part of it).
 
@@ -571,6 +579,14 @@ class Pipeline:
         observers:
             Extra observers for this run only, notified after the
             pipeline-level ones.
+        fault_injector:
+            A :class:`~repro.faults.FaultInjector` to hook into this
+            run's superstep and checkpoint boundaries.  Injected rank
+            failures are recovered by re-executing the stage (up to
+            ``config.stage_max_retries`` times, recorded in
+            ``result.recoveries``); checkpoint faults degrade to
+            recompute via the ``CheckpointLoadError`` fallback.  Every
+            fired fault surfaces as an ``on_stage_note``.
         """
         config = config or PipelineConfig()
         config.validate()
@@ -610,67 +626,159 @@ class Pipeline:
 
         result = PipelineResult(config=config, world=ctx.world, counts=ctx.counts)
 
+        injector = fault_injector
+        prev_injector = None
+        fault_listener = None
+        events0 = 0
+        if injector is not None:
+            prev_injector = ctx.world.fault_injector
+            ctx.world.fault_injector = injector
+            events0 = len(injector.events)
+
+            def fault_listener(event: dict) -> None:
+                # surface every non-worker injection to the observers the
+                # moment it fires; the worker kill site records its own
+                # durable event because the process may not live long
+                # enough for any later hook to run
+                if event.get("site") == "worker":
+                    return
+                detail = ", ".join(
+                    f"{k}={v}" for k, v in sorted(event.items())
+                    if k not in ("n", "site", "kind") and v is not None
+                )
+                notify(
+                    "on_stage_note", event.get("stage") or "-", ctx,
+                    f"fault injected: {event['kind']}"
+                    + (f" ({detail})" if detail else ""),
+                )
+
+            injector.listeners.append(fault_listener)
+
         fingerprint = None
         if ckpt is not None:
             from .checkpoint import base_fingerprint
 
             fingerprint = base_fingerprint(config, ctx.store)
 
-        for stage in stage_slice:
-            if stage.name not in selected_names:
-                result.stages_skipped.append((stage.name, "artifact"))
-                notify("on_stage_skip", stage.name, ctx, "artifact")
-                continue
-            if ckpt is not None:
-                fingerprint = ckpt.chain(fingerprint, stage, config)
-                if ckpt.has(stage.name, fingerprint):
-                    from .checkpoint import CheckpointLoadError
+        try:
+            for stage in stage_slice:
+                if stage.name not in selected_names:
+                    result.stages_skipped.append((stage.name, "artifact"))
+                    notify("on_stage_skip", stage.name, ctx, "artifact")
+                    continue
+                if ckpt is not None:
+                    fingerprint = ckpt.chain(fingerprint, stage, config)
+                    if ckpt.has(stage.name, fingerprint):
+                        from .checkpoint import CheckpointLoadError
 
+                        if injector is not None:
+                            # the TOCTOU window: the artifact may vanish or
+                            # rot between `has` and `load`
+                            injector.checkpoint_faults(
+                                stage.name,
+                                ckpt.path(stage.name, fingerprint),
+                                "load",
+                            )
+                        try:
+                            ckpt.load(stage, fingerprint, ctx)
+                        except CheckpointLoadError as exc:
+                            # evicted or torn between `has` and `load`: fall
+                            # back to recomputing the stage (TOCTOU-safe)
+                            notify(
+                                "on_stage_note", stage.name, ctx,
+                                f"checkpoint unavailable, recomputing: {exc}",
+                            )
+                        else:
+                            result.stages_skipped.append(
+                                (stage.name, "checkpoint")
+                            )
+                            notify(
+                                "on_stage_skip", stage.name, ctx, "checkpoint"
+                            )
+                            continue
+                missing = [k for k in stage.requires if k not in ctx.artifacts]
+                if missing:
+                    raise PipelineError(
+                        f"stage {stage.name} requires missing artifact(s) "
+                        f"{missing}; inject them via from_artifacts or include "
+                        f"the producing stage"
+                    )
+                attempt = 0
+                while True:
+                    notify("on_stage_start", stage.name, ctx)
+                    modeled0 = _modeled_seconds(ctx.world, stage.name)
+                    wall0 = time.perf_counter()
+                    artifacts_before = dict(ctx.artifacts)
+                    counts_before = dict(ctx.counts)
                     try:
-                        ckpt.load(stage, fingerprint, ctx)
-                    except CheckpointLoadError as exc:
-                        # evicted or torn between `has` and `load`: fall
-                        # back to recomputing the stage (TOCTOU-safe)
+                        with ctx.world.stage_scope(stage.name):
+                            stage.run(ctx)
+                    except RankFailure as exc:
+                        # roll the stage's partial publishes back.  The
+                        # failed superstep itself charged nothing
+                        # (accounting is transactional), so re-execution
+                        # replays from exactly the inputs the last
+                        # checkpoint covers and stays bit-identical
+                        ctx.artifacts.clear()
+                        ctx.artifacts.update(artifacts_before)
+                        ctx.counts.clear()
+                        ctx.counts.update(counts_before)
+                        attempt += 1
+                        if attempt > config.stage_max_retries:
+                            notify(
+                                "on_stage_note", stage.name, ctx,
+                                f"rank failure not recovered: {stage.name} "
+                                f"failed {attempt} time(s), retries "
+                                f"exhausted: {exc}",
+                            )
+                            raise
+                        result.recoveries.append({
+                            "stage": stage.name,
+                            "rank": exc.rank,
+                            "superstep": exc.superstep,
+                            "attempt": attempt,
+                        })
                         notify(
                             "on_stage_note", stage.name, ctx,
-                            f"checkpoint unavailable, recomputing: {exc}",
+                            f"recovery: rank {exc.rank} failed in superstep "
+                            f"{exc.superstep}; re-executing {stage.name} "
+                            f"(attempt {attempt + 1} of "
+                            f"{config.stage_max_retries + 1})",
                         )
-                    else:
-                        result.stages_skipped.append((stage.name, "checkpoint"))
-                        notify("on_stage_skip", stage.name, ctx, "checkpoint")
                         continue
-            missing = [k for k in stage.requires if k not in ctx.artifacts]
-            if missing:
-                raise PipelineError(
-                    f"stage {stage.name} requires missing artifact(s) "
-                    f"{missing}; inject them via from_artifacts or include "
-                    f"the producing stage"
+                    break
+                timing = StageTiming(
+                    stage=stage.name,
+                    modeled_seconds=(
+                        _modeled_seconds(ctx.world, stage.name) - modeled0
+                    ),
+                    wall_seconds=time.perf_counter() - wall0,
                 )
-            notify("on_stage_start", stage.name, ctx)
-            modeled0 = _modeled_seconds(ctx.world, stage.name)
-            wall0 = time.perf_counter()
-            with ctx.world.stage_scope(stage.name):
-                counts_before = dict(ctx.counts)
-                stage.run(ctx)
-            timing = StageTiming(
-                stage=stage.name,
-                modeled_seconds=_modeled_seconds(ctx.world, stage.name) - modeled0,
-                wall_seconds=time.perf_counter() - wall0,
-            )
-            result.stages_run.append(stage.name)
-            notify("on_stage_end", stage.name, ctx, timing)
-            if ckpt is not None:
-                counts_delta = {
-                    k: v
-                    for k, v in ctx.counts.items()
-                    if k not in counts_before or counts_before[k] != v
-                }
-                ckpt.save(stage.name, fingerprint, stage, ctx, counts_delta)
+                result.stages_run.append(stage.name)
+                notify("on_stage_end", stage.name, ctx, timing)
+                if ckpt is not None:
+                    counts_delta = {
+                        k: v
+                        for k, v in ctx.counts.items()
+                        if k not in counts_before or counts_before[k] != v
+                    }
+                    ckpt.save(stage.name, fingerprint, stage, ctx, counts_delta)
+                    if injector is not None:
+                        injector.checkpoint_faults(
+                            stage.name,
+                            ckpt.path(stage.name, fingerprint),
+                            "save",
+                        )
 
-        # stages beyond `until` are reported as skipped, not silently dropped
-        for stage in self.stages[len(stage_slice):]:
-            result.stages_skipped.append((stage.name, "until"))
-            notify("on_stage_skip", stage.name, ctx, "until")
+            # stages beyond `until` are reported as skipped, not dropped
+            for stage in self.stages[len(stage_slice):]:
+                result.stages_skipped.append((stage.name, "until"))
+                notify("on_stage_skip", stage.name, ctx, "until")
+        finally:
+            if injector is not None:
+                injector.listeners.remove(fault_listener)
+                ctx.world.fault_injector = prev_injector
+                result.faults_injected = len(injector.events) - events0
 
         ctx.counts["peak_memory_bytes"] = ctx.world.memory.peak_overall()
         budget = ctx.world.memory.budget

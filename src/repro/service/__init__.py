@@ -17,6 +17,7 @@ other's upstream artifacts through one budgeted, evicting
     print(svc.result(a)["contigs"], "contigs")
 """
 
+from ..faults import FaultInjector, FaultPlan, InjectedWorkerDeath, RetryPolicy
 from .api import JobService
 from .cache import CacheError, SharedArtifactCache
 from .scheduler import (
@@ -52,4 +53,9 @@ __all__ = [
     "TERMINAL_STATES",
     "KILL_AFTER_ENV",
     "runnable_order",
+    # re-exported fault/recovery surface (lives in repro.faults)
+    "FaultPlan",
+    "FaultInjector",
+    "InjectedWorkerDeath",
+    "RetryPolicy",
 ]

@@ -19,6 +19,7 @@ import time
 from pathlib import Path
 from typing import Callable
 
+from ..faults import FaultPlan, RetryPolicy
 from .cache import SharedArtifactCache
 from .scheduler import Worker
 from .store import JobError, JobRecord, JobSpec, JobStore
@@ -35,9 +36,12 @@ class JobService:
         cache_budget_mb: float | None = None,
         lease_ttl: float = 60.0,
         clock: Callable[[], float] = time.time,
+        retry: "RetryPolicy | None" = None,
     ) -> None:
         self.root = Path(root)
-        self.store = JobStore(self.root / "jobs", lease_ttl=lease_ttl, clock=clock)
+        self.store = JobStore(
+            self.root / "jobs", lease_ttl=lease_ttl, clock=clock, retry=retry
+        )
         self.cache = SharedArtifactCache(
             self.root / "cache", budget_mb=cache_budget_mb
         )
@@ -106,15 +110,29 @@ class JobService:
         return self.cache.gc(budget_mb)
 
     # -- execution -------------------------------------------------------
-    def worker(self, worker_id: str | None = None, observers=()) -> Worker:
+    def worker(
+        self,
+        worker_id: str | None = None,
+        observers=(),
+        fault_plan: FaultPlan | None = None,
+        fault_injector=None,
+    ) -> Worker:
         return Worker(
-            self.store, self.cache, worker_id=worker_id, observers=observers
+            self.store,
+            self.cache,
+            worker_id=worker_id,
+            observers=observers,
+            fault_plan=fault_plan,
+            fault_injector=fault_injector,
         )
 
     def run_worker(
         self,
         max_jobs: int | None = None,
         worker_id: str | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> list[JobRecord]:
         """Drain the queue synchronously in this process."""
-        return self.worker(worker_id).drain(max_jobs=max_jobs)
+        return self.worker(worker_id, fault_plan=fault_plan).drain(
+            max_jobs=max_jobs
+        )

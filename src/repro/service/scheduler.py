@@ -9,10 +9,21 @@ while the job runs), per-stage progress lands in the job record, the lease
 is heartbeaten so a live worker is never mistaken for a dead one, and a
 cancel request observed at a stage boundary aborts the run.
 
-Crash injection for tests and CI: when ``REPRO_WORKER_KILL_AFTER=<stage>``
-is set, the worker SIGKILLs its own process the moment that stage
-completes -- the hard-death scenario the lease/adoption machinery and the
-kill-and-resume smoke test exercise.
+Fault injection: a worker built with a :class:`~repro.faults.FaultPlan`
+(or the legacy ``REPRO_WORKER_KILL_AFTER=<stage>`` env hook, which is
+translated into a one-rule plan) owns a :class:`~repro.faults
+.FaultInjector` that persists across the jobs it runs.  Superstep and
+checkpoint faults flow into the pipeline run; ``worker_kill`` rules fire
+through :class:`_WorkerKillObserver`, which records a durable
+``fault_injected`` event and then either SIGKILLs the process or raises
+:class:`~repro.faults.InjectedWorkerDeath` (a ``BaseException``, so the
+normal failure handling cannot catch it -- the job stays leased and
+pinned exactly as a real hard death leaves it).
+
+Failed attempts are routed through the store's
+:class:`~repro.faults.RetryPolicy`: retryable failure classes are
+requeued with exponential backoff (``retry_scheduled`` event), permanent
+ones land in terminal ``failed`` immediately.
 """
 
 from __future__ import annotations
@@ -22,6 +33,7 @@ import signal
 import traceback
 from typing import TYPE_CHECKING, Sequence
 
+from ..faults import FaultInjector, FaultPlan, InjectedWorkerDeath, worker_kill
 from ..pipeline import Pipeline, PipelineConfig, PipelineObserver
 from .store import JobError, JobRecord, JobSpec, JobStore
 
@@ -37,7 +49,8 @@ __all__ = [
     "KILL_AFTER_ENV",
 ]
 
-#: test/CI hook: SIGKILL the worker process after this stage completes
+#: legacy test/CI hook: SIGKILL the worker after this stage completes.
+#: Translated into a one-rule ``worker_kill`` fault plan at Worker init.
 KILL_AFTER_ENV = "REPRO_WORKER_KILL_AFTER"
 
 
@@ -170,15 +183,45 @@ class JobObserver(PipelineObserver):
         )
 
 
-class _CrashInjector(PipelineObserver):
-    """SIGKILL our own process after a named stage (test/CI hook only)."""
+class _WorkerKillObserver(PipelineObserver):
+    """Fires ``worker_kill`` fault rules at stage boundaries.
 
-    def __init__(self, after_stage: str) -> None:
-        self.after_stage = after_stage
+    The injector decides and records the event *first* -- appended
+    durably to the job's event log -- and only then does the kill land,
+    so even a SIGKILL that beats every other observer leaves its trace.
+    """
+
+    def __init__(
+        self, injector: FaultInjector, store: JobStore, record: JobRecord
+    ) -> None:
+        self.injector = injector
+        self.store = store
+        self.record = record
+
+    def on_stage_start(self, stage, ctx) -> None:
+        self._check(None)
 
     def on_stage_end(self, stage, ctx, timing) -> None:
-        if stage == self.after_stage:  # pragma: no cover - kills the process
+        self._check(stage)
+
+    def _check(self, after_stage: str | None) -> None:
+        rule = self.injector.worker_kill_action(after_stage)
+        if rule is None:
+            return
+        self.store.append_event(
+            self.record.job_id,
+            "fault_injected",
+            fault="worker_kill",
+            stage=after_stage,
+            mode=rule.mode,
+        )
+        if rule.mode == "sigkill":  # pragma: no cover - kills the process
             os.kill(os.getpid(), signal.SIGKILL)
+        where = f"after {after_stage}" if after_stage else "at a stage boundary"
+        raise InjectedWorkerDeath(
+            f"fault plan killed worker {where} "
+            f"(simulated hard death; job stays leased and pinned)"
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -202,11 +245,25 @@ class Worker:
         cache: "SharedArtifactCache",
         worker_id: str | None = None,
         observers: Sequence[PipelineObserver] = (),
+        fault_plan: FaultPlan | None = None,
+        fault_injector: FaultInjector | None = None,
     ) -> None:
         self.store = store
         self.cache = cache
         self.worker_id = worker_id or f"worker-{os.getpid()}"
         self.extra_observers = list(observers)
+        if fault_injector is None:
+            kill_after = os.environ.get(KILL_AFTER_ENV)
+            if fault_plan is None and kill_after:
+                fault_plan = FaultPlan(
+                    rules=(worker_kill(after_stage=kill_after, mode="sigkill"),)
+                )
+            if fault_plan is not None:
+                fault_injector = FaultInjector(fault_plan)
+        # one injector per worker, shared across every job it runs; pass
+        # a prebuilt injector to share fire-state across worker
+        # generations (how chaos tests model a restarted worker fleet)
+        self.fault_injector = fault_injector
 
     def run_once(self) -> JobRecord | None:
         """Claim and fully process one job; None when the queue is idle."""
@@ -242,9 +299,10 @@ class Worker:
         self.store.save(record)
 
         observers: list[PipelineObserver] = [JobObserver(self.store, record)]
-        kill_after = os.environ.get(KILL_AFTER_ENV)
-        if kill_after:
-            observers.append(_CrashInjector(kill_after))
+        if self.fault_injector is not None:
+            observers.append(
+                _WorkerKillObserver(self.fault_injector, self.store, record)
+            )
         observers.extend(self.extra_observers)
 
         hits0, misses0 = self.cache.hits, self.cache.misses
@@ -256,16 +314,12 @@ class Worker:
                     until=record.spec.until,
                     checkpoint_store=self.cache,
                     observers=observers,
+                    fault_injector=self.fault_injector,
                 )
         except JobCancelled:
             record = self.store.finish(record, "cancelled")
         except Exception as exc:
-            tail = traceback.format_exc(limit=5)
-            record = self.store.finish(
-                record,
-                "failed",
-                error=f"{type(exc).__name__}: {exc}\n{tail}",
-            )
+            record = self._fail_or_retry(record, exc)
         else:
             summary = result.summary()
             summary["stages_cached"] = sum(
@@ -275,6 +329,21 @@ class Worker:
             summary["cache_misses"] = self.cache.misses - misses0
             record = self.store.finish(record, "done", summary=summary)
         finally:
-            # terminal either way: release this job's pins so gc may evict
-            self.cache.unpin(record.job_id)
+            # release this job's pins only at a terminal state.  A
+            # simulated hard death (InjectedWorkerDeath) or a
+            # backoff-scheduled retry leaves the record non-terminal, and
+            # its pins must survive for the adopting worker -- exactly as
+            # a real SIGKILL would leave them
+            if record.terminal:
+                self.cache.unpin(record.job_id)
         return record
+
+    def _fail_or_retry(self, record: JobRecord, exc: Exception) -> JobRecord:
+        """Route one failed attempt: backoff requeue or terminal failure."""
+        policy = self.store.retry
+        tail = traceback.format_exc(limit=5)
+        error = f"{type(exc).__name__}: {exc}\n{tail}"
+        if policy.is_retryable(exc) and record.attempts < policy.max_attempts:
+            delay = policy.delay_for(record.attempts)
+            return self.store.schedule_retry(record, error, delay)
+        return self.store.finish(record, "failed", error=error)

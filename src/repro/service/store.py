@@ -24,6 +24,7 @@ from pathlib import Path
 from typing import Callable, Iterable
 
 from ..errors import ReproError
+from ..faults.retry import RetryPolicy
 
 __all__ = [
     "JobError",
@@ -94,6 +95,8 @@ class JobRecord:
     submitted_at: float = 0.0
     started_at: float | None = None
     finished_at: float | None = None
+    #: earliest clock time the job may be claimed (retry backoff delay)
+    not_before: float = 0.0
     #: lease: {"worker": str, "token": str, "expires": float} or None
     lease: dict | None = None
     #: per-stage progress: name -> queued/running/done/cached
@@ -126,15 +129,16 @@ class JobRecord:
 def runnable_order(records: Iterable[JobRecord], now: float) -> list[JobRecord]:
     """Claimable jobs, scheduling order: priority desc, then FIFO.
 
-    Claimable means ``queued``, or ``running`` with an expired lease (its
-    worker died -- adopting it is how restart-resume works).
+    Claimable means ``queued`` with its ``not_before`` backoff elapsed,
+    or ``running`` with an expired lease (its worker died -- adopting it
+    is how restart-resume works).
     """
     ready = [
         r
         for r in records
         if not r.cancel_requested
         and (
-            r.state == "queued"
+            (r.state == "queued" and r.not_before <= now)
             or (r.state == "running" and r.lease_expired(now))
         )
     ]
@@ -155,12 +159,14 @@ class JobStore:
         root: str | Path,
         lease_ttl: float = 60.0,
         clock: Callable[[], float] = time.time,
+        retry: "RetryPolicy | None" = None,
     ) -> None:
         if lease_ttl <= 0:
             raise JobError(f"lease_ttl must be positive, got {lease_ttl}")
         self.root = Path(root)
         self.lease_ttl = float(lease_ttl)
         self.clock = clock
+        self.retry = retry if retry is not None else RetryPolicy()
         self._claim_counter = 0
 
     # -- paths -----------------------------------------------------------
@@ -256,9 +262,16 @@ class JobStore:
         """Claim the best runnable job for ``worker`` (lease-stamped).
 
         Adoption of an expired-lease ``running`` job bumps ``attempts``.
-        The claim is verify-after-write: the record is rewritten with a
-        fresh unique lease token and re-read; whoever's token survived the
-        last write owns the job.
+        Each claim runs inside a per-job ``O_EXCL`` lock file, and the
+        record is re-read and re-checked under the lock, so two workers
+        racing for the same job cannot both win -- the loser sees either
+        the lock or the winner's fresh lease.
+
+        A candidate that already burned ``retry.max_attempts`` attempts is
+        never claimed again: it is moved to terminal ``failed`` (with a
+        ``gave_up`` event), which is what keeps a poison job -- one that
+        kills every worker that touches it -- from being re-adopted
+        forever.
         """
         now = self.clock()
         for candidate in runnable_order(self.list_jobs(), now):
@@ -267,34 +280,113 @@ class JobStore:
                 return claimed
         return None
 
+    def _give_up(self, record: JobRecord) -> JobRecord:
+        """Terminal-fail a job that exhausted its attempts ceiling."""
+        message = f"max attempts ({self.retry.max_attempts}) exceeded"
+        if record.error:
+            message += f"; last error: {record.error.splitlines()[0]}"
+        self.append_event(
+            record.job_id,
+            "gave_up",
+            attempts=record.attempts,
+            error=record.error,
+        )
+        return self.finish(record, "failed", error=message)
+
+    def schedule_retry(
+        self, record: JobRecord, error: str, delay: float
+    ) -> JobRecord:
+        """Requeue a failed attempt with a backoff delay.
+
+        The job returns to ``queued`` but is invisible to ``claim_next``
+        until ``not_before`` passes; the triggering error and the delay
+        are recorded in the event log.
+        """
+        now = self.clock()
+        record.state = "queued"
+        record.lease = None
+        record.error = error
+        record.not_before = now + max(0.0, float(delay))
+        self.save(record)
+        self.append_event(
+            record.job_id,
+            "retry_scheduled",
+            attempt=record.attempts,
+            delay=round(float(delay), 3),
+            error=error.splitlines()[0] if error else None,
+        )
+        return record
+
+    def _claim_lock(self, job_id: str) -> Path:
+        return self.root / f"{job_id}.claim.lock"
+
     def _try_claim(
         self, record: JobRecord, worker: str, now: float
     ) -> JobRecord | None:
-        self._claim_counter += 1
-        token = f"{worker}#{os.getpid()}#{self._claim_counter}"
-        adopted = record.state == "running"
-        record = replace(
-            record,
-            state="running",
-            attempts=record.attempts + 1,
-            started_at=record.started_at if adopted else now,
-            lease={
-                "worker": worker,
-                "token": token,
-                "expires": now + self.lease_ttl,
-            },
-        )
-        self.save(record)
-        fresh = self.get(record.job_id)
-        if fresh.lease is None or fresh.lease.get("token") != token:
-            return None  # lost the race to another worker
-        self.append_event(
-            record.job_id,
-            "adopted" if adopted else "claimed",
-            worker=worker,
-            attempt=record.attempts,
-        )
-        return fresh
+        """One serialized claim attempt; None when the job got away.
+
+        The ``O_EXCL`` lock file makes the read-check-stamp sequence a
+        critical section: concurrent claimers either fail to create the
+        lock or, having won it, see the previous winner's still-live
+        lease on the re-read and back off.  A lock orphaned by a claimer
+        that died inside the section (a real-wall-clock window of
+        milliseconds) goes stale after one lease TTL and is swept by the
+        next claimer.
+        """
+        lock = self._claim_lock(record.job_id)
+        try:
+            fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            try:
+                if time.time() - os.path.getmtime(lock) > max(
+                    self.lease_ttl, 5.0
+                ):
+                    os.unlink(lock)  # claimer died mid-claim; sweep
+            except OSError:
+                pass
+            return None
+        os.close(fd)
+        try:
+            try:
+                record = self.get(record.job_id)
+            except JobError:
+                return None
+            runnable = not record.cancel_requested and (
+                (record.state == "queued" and record.not_before <= now)
+                or (record.state == "running" and record.lease_expired(now))
+            )
+            if not runnable:
+                return None
+            if record.attempts >= self.retry.max_attempts:
+                self._give_up(record)
+                return None
+            self._claim_counter += 1
+            token = f"{worker}#{os.getpid()}#{self._claim_counter}"
+            adopted = record.state == "running"
+            record = replace(
+                record,
+                state="running",
+                attempts=record.attempts + 1,
+                started_at=record.started_at if adopted else now,
+                lease={
+                    "worker": worker,
+                    "token": token,
+                    "expires": now + self.lease_ttl,
+                },
+            )
+            self.save(record)
+            self.append_event(
+                record.job_id,
+                "adopted" if adopted else "claimed",
+                worker=worker,
+                attempt=record.attempts,
+            )
+            return record
+        finally:
+            try:
+                os.unlink(lock)
+            except OSError:
+                pass
 
     def heartbeat(self, record: JobRecord) -> JobRecord:
         """Extend the caller's lease on a running job."""
@@ -343,6 +435,9 @@ class JobStore:
         adopted = []
         for record in self.list_jobs(state="running"):
             if record.lease_expired(now) and not record.cancel_requested:
+                if record.attempts >= self.retry.max_attempts:
+                    self._give_up(record)
+                    continue
                 record.state = "queued"
                 record.lease = None
                 self.save(record)
@@ -374,3 +469,51 @@ class JobStore:
         except OSError:
             return []
         return out[since:]
+
+    def follow_events(
+        self,
+        job_id: str,
+        poll: float = 0.2,
+        should_stop: Callable[[], bool] | None = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        """Yield events as they are appended -- ``tail -f`` over the log.
+
+        Unlike :meth:`events` (which re-reads the whole file on every
+        poll), this reads incrementally from the last byte offset.  A
+        torn trailing line -- a writer SIGKILLed mid-append, or a read
+        racing an in-flight write -- is buffered until its newline
+        arrives, so no event is ever lost or half-parsed.
+
+        When ``should_stop`` returns True, one final drain pass runs
+        before the generator returns; the writer's terminal event (which
+        lands just after the record flips terminal) is therefore never
+        missed.  With ``should_stop=None`` the tail never ends.
+        """
+        path = self.events_path(job_id)
+        offset = 0
+        buffer = b""
+        stopping = False
+        while True:
+            try:
+                with open(path, "rb") as fh:
+                    fh.seek(offset)
+                    chunk = fh.read()
+            except OSError:
+                chunk = b""
+            if chunk:
+                offset += len(chunk)
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    try:
+                        yield json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                continue
+            if stopping:
+                return
+            if should_stop is not None and should_stop():
+                stopping = True
+                continue
+            sleep(poll)

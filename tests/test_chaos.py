@@ -1,0 +1,240 @@
+"""Chaos property suite: any fault plan converges to the clean digest.
+
+The tentpole invariant of the fault-injection work: for *any* seeded
+:meth:`FaultPlan.random` plan (bounded ``max_fires`` means every plan
+eventually stops injecting), the job pipeline -- across rank crashes,
+stalls, corrupted checkpoints, eviction races and simulated worker
+deaths with lease-based adoption -- converges to a contig digest
+bit-identical to the fault-free run, with every injection and recovery
+visible in the job's event log.
+
+``TestChaosSmoke`` is the subprocess version CI runs: one rank crash,
+one real SIGKILL, one corrupted checkpoint, gating on digest equality.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    InjectedWorkerDeath,
+    checkpoint_corrupt,
+    rank_crash,
+    worker_kill,
+)
+from repro.pipeline import Pipeline, PipelineConfig
+from repro.seq import GenomeSpec, make_genome, tile_reads
+from repro.service import JobService
+
+SRC = {
+    "kind": "simulate",
+    "length": 2500,
+    "seed": 51,
+    "read_length": 350,
+    "stride": 140,
+}
+CFG = {"nprocs": 4, "k": 17, "reliable_lo": 1, "end_margin": 5}
+
+CHAOS_SEEDS = list(range(20))
+
+#: worker generations before we declare a plan non-convergent; random
+#: plans carry at most two worker kills, so 12 is far past sufficient
+MAX_GENERATIONS = 12
+
+
+class FakeClock:
+    def __init__(self, t: float = 1_000.0) -> None:
+        self.t = t
+
+    def now(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@pytest.fixture(scope="module")
+def reference_digest():
+    reads = tile_reads(
+        make_genome(GenomeSpec(length=SRC["length"], seed=SRC["seed"])),
+        SRC["read_length"],
+        SRC["stride"],
+    ).reads
+    return Pipeline.default().run(reads, PipelineConfig(**CFG)).contig_digest()
+
+
+class TestChaosProperty:
+    @pytest.mark.parametrize("seed", CHAOS_SEEDS)
+    def test_any_plan_converges_bit_identical(
+        self, tmp_path, seed, reference_digest
+    ):
+        plan = FaultPlan.random(seed)
+        clock = FakeClock()
+        svc = JobService(tmp_path, lease_ttl=30.0, clock=clock.now)
+        job = svc.submit(SRC, CFG)
+        # one injector shared across worker generations: its fire-state
+        # is the plan's memory, so injections don't repeat after restarts
+        injector = FaultInjector(plan)
+
+        generations = 0
+        while generations < MAX_GENERATIONS:
+            generations += 1
+            worker = svc.worker(
+                worker_id=f"w{generations}", fault_injector=injector
+            )
+            try:
+                worker.drain()
+            except InjectedWorkerDeath:
+                pass  # the worker "process" is gone; spawn the next one
+            if svc.status(job).terminal:
+                break
+            # past every lease TTL and retry backoff the default policy
+            # can schedule, so the next generation can claim or adopt
+            clock.advance(61.0)
+
+        record = svc.status(job)
+        assert record.state == "done", (
+            f"seed {seed}: not converged after {generations} generations "
+            f"(state={record.state}, error={record.error})"
+        )
+        assert svc.result(job)["contig_digest"] == reference_digest, (
+            f"seed {seed}: digest diverged under plan {plan.to_dict()}"
+        )
+        # nothing stays pinned once the job is terminal
+        assert svc.cache.pinned_files() == set()
+
+        # every injected fault is visible in the durable event log:
+        # worker kills as first-class `fault_injected` events, everything
+        # else as `fault injected: ...` stage notes
+        events = svc.events(job)
+        noted = [
+            e for e in events
+            if e["event"] == "note"
+            and e.get("note", "").startswith("fault injected:")
+        ]
+        killed = [e for e in events if e["event"] == "fault_injected"]
+        assert len(noted) + len(killed) == len(injector.events), (
+            f"seed {seed}: {len(injector.events)} faults fired but only "
+            f"{len(noted) + len(killed)} are visible in the event log"
+        )
+        # ...and every rank crash that fired left a recovery trace
+        crashes = [e for e in injector.events if e["kind"] == "rank_crash"]
+        recovery_notes = [
+            e for e in events
+            if e["event"] == "note"
+            and e.get("note", "").startswith("recovery: rank")
+        ]
+        if crashes:
+            assert recovery_notes, f"seed {seed}: crash with no recovery note"
+        # each simulated death claimed one extra attempt via adoption
+        assert record.attempts == 1 + len(
+            [e for e in killed if e.get("mode") == "sim"]
+        )
+
+    def test_chaos_plans_exercise_every_site(self):
+        """The seed range actually covers all fault kinds (meta-check so
+        the property above cannot silently degenerate)."""
+        kinds = {
+            rule.kind
+            for seed in CHAOS_SEEDS
+            for rule in FaultPlan.random(seed).rules
+        }
+        assert kinds == {
+            "rank_crash", "stall", "checkpoint_corrupt",
+            "cache_evict_race", "worker_kill",
+        }
+
+
+LEASE_TTL = 0.5
+
+WORKER_DRIVER = (
+    "import sys\n"
+    "from repro.faults import FaultPlan\n"
+    "from repro.service import JobService\n"
+    f"svc = JobService(sys.argv[1], lease_ttl={LEASE_TTL})\n"
+    "plan = FaultPlan.load(sys.argv[2]) if len(sys.argv) > 2 else None\n"
+    "svc.run_worker(fault_plan=plan)\n"
+)
+
+
+def _spawn_worker(root, plan_path=None):
+    env = dict(os.environ)
+    src_dir = Path(__file__).resolve().parent.parent / "src"
+    env["PYTHONPATH"] = f"{src_dir}{os.pathsep}" + env.get("PYTHONPATH", "")
+    argv = [sys.executable, "-c", WORKER_DRIVER, str(root)]
+    if plan_path is not None:
+        argv.append(str(plan_path))
+    return subprocess.run(
+        argv, env=env, capture_output=True, text=True, timeout=180
+    )
+
+
+@pytest.mark.skipif(
+    not hasattr(signal, "SIGKILL"), reason="needs POSIX SIGKILL"
+)
+class TestChaosSmoke:
+    """The CI chaos gate: crash + SIGKILL + corruption, digest-identical."""
+
+    def test_kill_crash_corrupt_converges(self, tmp_path, reference_digest):
+        crash = rank_crash(stage="Alignment", superstep=0, rank=1)
+        corrupt = checkpoint_corrupt(
+            stage="CountKmer", when="save", mode="bitflip"
+        )
+        plan = FaultPlan(seed=0, rules=(
+            corrupt,
+            worker_kill(after_stage="DetectOverlap", mode="sigkill"),
+            crash,
+        ))
+        plan_path = tmp_path / "plan.json"
+        plan.dump(plan_path)
+        # the restarted fleet is not re-armed with the kill (a fresh
+        # process would otherwise re-fire it forever: the SIGKILL always
+        # beats the killed stage's checkpoint to disk); the crash and the
+        # corruption rules do re-arm and must still converge
+        resume_path = tmp_path / "plan-resume.json"
+        FaultPlan(seed=0, rules=(corrupt, crash)).dump(resume_path)
+        root = tmp_path / "svc"
+        svc = JobService(root, lease_ttl=LEASE_TTL)
+        job = svc.submit(SRC, CFG)
+
+        # generation 1: saves a bit-flipped CountKmer checkpoint, then a
+        # real SIGKILL lands the moment DetectOverlap completes
+        proc = _spawn_worker(root, plan_path)
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+        orphan = svc.status(job)
+        assert orphan.state == "running" and orphan.attempts == 1
+        events = [e["event"] for e in svc.events(job)]
+        assert "fault_injected" in events  # durable before the kill
+
+        time.sleep(LEASE_TTL + 0.2)
+
+        # generation 2 (fresh process, fresh injector): adopts, detects
+        # the corrupt checkpoint via its checksum frame and recomputes,
+        # then recovers the injected rank crash
+        proc = _spawn_worker(root, resume_path)
+        assert proc.returncode == 0, proc.stderr
+
+        record = svc.status(job)
+        assert record.state == "done" and record.attempts == 2
+        summary = svc.result(job)
+        assert summary["contig_digest"] == reference_digest
+        assert summary["recoveries"] == [
+            {"stage": "Alignment", "rank": 1, "superstep": 0, "attempt": 1}
+        ]
+        notes = [
+            e["note"] for e in svc.events(job) if e["event"] == "note"
+        ]
+        assert any("fault injected: rank_crash" in n for n in notes)
+        assert any("recovery: rank 1" in n for n in notes)
+        assert any(
+            "checkpoint unavailable, recomputing" in n for n in notes
+        ), "corrupt checkpoint was not detected at load"
+        assert svc.cache.pinned_files() == set()

@@ -138,13 +138,22 @@ class TestToctouFallback:
         assert ctx.artifacts == before
 
     def test_version_mismatch_is_load_error(self, tmp_path, reads, cfg):
+        import hashlib
         import pickle
+
+        from repro.pipeline.checkpoint import CHECKPOINT_MAGIC
 
         store, _ = self._checkpointed(tmp_path, reads, cfg)
         victim = store.entries()[0]
-        blob = pickle.loads(victim.read_bytes())
+        raw = victim.read_bytes()
+        blob = pickle.loads(raw[len(CHECKPOINT_MAGIC) + 32:])
         blob["version"] = 999
-        victim.write_bytes(pickle.dumps(blob))
+        payload = pickle.dumps(blob)
+        # a correctly-framed file with a stale version: passes the
+        # integrity check, fails the version check
+        victim.write_bytes(
+            CHECKPOINT_MAGIC + hashlib.sha256(payload).digest() + payload
+        )
         obs = CollectingObserver()
         res = Pipeline.default(observers=[obs]).run(
             reads, cfg, checkpoint_store=store

@@ -34,6 +34,7 @@ payloads as plain field arrays ready for one structured fill.
 
 from __future__ import annotations
 
+import os
 import threading
 from dataclasses import dataclass
 from typing import Sequence
@@ -57,6 +58,7 @@ __all__ = [
     "batch_xdrop_extend",
     "iter_classified_chunks",
     "classify_overlaps",
+    "release_scratch",
 ]
 
 #: Dead-cell / masked-score sentinel (mirrors the scalar banded kernel).
@@ -160,22 +162,35 @@ GAPLESS_STRIPE = 128
 # which is a large fraction of the kernel cost.  Keyed by role; grown
 # geometrically and re-typed on demand.  Sized by pairs-per-batch times
 # stripe width, so the caller's batch size bounds the footprint.
-# Thread-local: the executor's thread backend runs one rank's batches per
-# worker thread, and each worker needs its own workspace for the gapless
-# kernel to stay reentrant.
+# Per-executor-worker: thread-local (the thread backend runs one rank's
+# batches per worker thread, and each worker needs its own workspace for
+# the gapless kernel to stay reentrant) AND pid-validated -- a forked
+# process-pool worker inherits the parent's thread-local table, and
+# growing those pages would copy-on-write the parent's hot workspace,
+# so the table resets on first touch under a new pid.  (Spawned workers
+# start clean; the check makes fork-start pools safe too.)
 _SCRATCH = threading.local()
 
 
 def _scratch(key: str, dtype: np.dtype, rows: int, cols: int) -> np.ndarray:
-    table = getattr(_SCRATCH, "arrays", None)
-    if table is None:
-        table = _SCRATCH.arrays = {}
+    if getattr(_SCRATCH, "pid", None) != os.getpid():
+        _SCRATCH.pid = os.getpid()
+        _SCRATCH.arrays = {}
+    table = _SCRATCH.arrays
     need = rows * cols
     arr = table.get(key)
     if arr is None or arr.dtype != dtype or arr.size < need:
         arr = np.empty(max(need + (need >> 2), 1), dtype=dtype)
         table[key] = arr
     return arr[:need].reshape(rows, cols)
+
+
+def release_scratch() -> None:
+    """Drop this worker's kernel workspaces (frees the pages; the next
+    batch reallocates lazily).  Long-lived pool workers between unrelated
+    jobs can call this to return memory instead of holding peak scratch."""
+    _SCRATCH.pid = None
+    _SCRATCH.arrays = {}
 
 
 def _gapless_side_batch(

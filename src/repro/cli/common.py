@@ -99,8 +99,10 @@ def add_pipeline_args(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--executor", choices=tuple(EXECUTOR_BACKENDS), default=None,
-        help="per-rank compute backend: serial loop or thread pool "
-        "(outputs are bit-identical; default from $REPRO_EXECUTOR)",
+        help="per-rank compute backend: serial loop, thread pool, "
+        "spawn-safe process pool over shared-memory buffers, or mpi4py "
+        "(single-rank emulator without MPI); outputs are bit-identical "
+        "on every backend; default from $REPRO_EXECUTOR",
     )
     parser.add_argument(
         "--memory-mode", choices=("fast", "low"), default="fast",

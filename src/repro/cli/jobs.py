@@ -26,6 +26,7 @@ import time
 
 from ..errors import FaultPlanError
 from ..faults import FaultPlan, RetryPolicy
+from ..mpi.executor import EXECUTOR_BACKENDS
 from ..service import JobError, JobService, TERMINAL_STATES
 from .common import CliError, positive_float, positive_int
 
@@ -131,6 +132,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fault-plan", default=None, metavar="FILE",
                    help="JSON fault plan (repro.faults.FaultPlan schema) "
                    "injected into every job this worker runs")
+    p.add_argument("--executor", default=None, choices=EXECUTOR_BACKENDS,
+                   help="run every job's stages on this executor backend, "
+                   "overriding job specs and REPRO_EXECUTOR (e.g. "
+                   "'process' for a multi-core worker)")
     p.add_argument("--max-attempts", type=positive_int, default=None,
                    help="retry ceiling: a job failing this many attempts "
                    "lands in terminal 'failed' instead of requeueing")
@@ -301,6 +306,7 @@ def _cmd_worker(svc: JobService, args, out) -> int:
         max_jobs=args.max_jobs,
         worker_id=args.worker_id,
         fault_plan=fault_plan,
+        executor=args.executor,
     )
     for record in done:
         cached = (record.summary or {}).get("stages_cached", 0)

@@ -27,7 +27,13 @@ import numpy as np
 
 from ..errors import CommunicatorError
 from .costmodel import MachineModel, zero_cost
-from .executor import Executor, RankContext, RankStep, make_executor
+from .executor import (
+    Executor,
+    RankContext,
+    RankStep,
+    _RemoteGuardedStep,
+    make_executor,
+)
 from .memory import MemoryMeter
 from .stats import CommEvent, CommLog, StageClock
 
@@ -173,11 +179,12 @@ class SimWorld:
         return self._executor
 
     def use_executor(self, spec: "str | Executor") -> None:
-        """Swap the per-rank compute backend (``"serial"``/``"thread"``).
+        """Swap the per-rank compute backend (any
+        :data:`~repro.mpi.executor.EXECUTOR_BACKENDS` name or instance).
 
-        The replaced executor is shut down so a retired thread pool's
-        workers exit deterministically rather than waiting for GC
-        (``shutdown`` is idempotent and pools rebuild lazily on reuse).
+        The replaced executor is shut down so a retired pool's workers
+        exit deterministically rather than waiting for GC (``shutdown``
+        is idempotent and pools rebuild lazily on reuse).
         """
         new = make_executor(spec)
         if new is not self._executor:
@@ -194,12 +201,20 @@ class SimWorld:
         methods that buffer cost accounting per rank and merge it into
         the world's clocks in rank order once all ranks finish.  Results
         come back in rank order regardless of backend, so a superstep
-        behaves identically under ``serial`` and ``thread`` execution.
+        behaves identically under ``serial``, ``thread``, ``process`` and
+        ``mpi`` execution.
+
+        Out-of-process backends receive the step and tasks *pickled*
+        (contexts travel detached; buffered accounting records splice
+        back before the merge), so steps bound for those backends must
+        avoid capturing worlds, locks or open handles and must not rely
+        on mutating enclosing scopes -- pass state through per-rank
+        arguments and return it instead.
 
         Accounting is transactional per superstep: if any rank's step
         raises, the exception propagates (lowest failing rank first,
         after all ranks drain) and *no* buffered charges are merged --
-        a failed superstep charges nothing on either backend.
+        a failed superstep charges nothing on any backend.
         """
         # nesting is always a bug: a step calling map_ranks would deadlock
         # a saturated thread pool instead of failing cleanly
@@ -221,31 +236,44 @@ class SimWorld:
         # the executor launches anything, so every backend sees the same
         # crashes (raised inside the step, so accounting stays
         # transactional) and the same stragglers (charged after success)
-        crash_actions: dict[int, dict] = {}
+        crash_excs: dict[int, Exception] = {}
         stall_actions: list[dict] = []
         injector = self.fault_injector
         if injector is not None:
             for action in injector.superstep_actions(base_stage):
                 if action["kind"] == "rank_crash":
-                    crash_actions[action["rank"]] = action
+                    crash_excs[action["rank"]] = injector.crash_failure(
+                        action
+                    )
                 else:
                     stall_actions.append(action)
 
-        # while a step runs, direct world accounting is an error on BOTH
-        # backends (under threads it would silently mis-attribute stages;
-        # raising keeps the backend-identical contract enforceable)
-        def _guarded(ctx, *args):
-            prior = getattr(self._in_rank_step, "active", False)
-            self._in_rank_step.active = True
-            try:
-                action = crash_actions.get(int(ctx))
-                if action is not None:
-                    raise injector.crash_failure(action)
-                return fn(ctx, *args)
-            finally:
-                self._in_rank_step.active = prior
+        if getattr(self._executor, "in_process", True):
+            # while a step runs, direct world accounting is an error on
+            # every in-process backend (under threads it would silently
+            # mis-attribute stages; raising keeps the backend-identical
+            # contract enforceable)
+            def _guarded(ctx, *args):
+                prior = getattr(self._in_rank_step, "active", False)
+                self._in_rank_step.active = True
+                try:
+                    exc = crash_excs.get(int(ctx))
+                    if exc is not None:
+                        raise exc
+                    return fn(ctx, *args)
+                finally:
+                    self._in_rank_step.active = prior
 
-        results = self._executor.run(_guarded, tasks)
+            runner: Any = _guarded
+        elif crash_excs:
+            # worker processes have no world to guard (detached contexts
+            # refuse collectives structurally); only the pre-decided
+            # crash decisions need to travel with the step
+            runner = _RemoteGuardedStep(fn, crash_excs)
+        else:
+            runner = fn
+
+        results = self._executor.run(runner, tasks)
         for ctx in ctxs:
             ctx._merge()
         for action in stall_actions:

@@ -14,13 +14,24 @@ callable plus per-rank argument lists -- and
 * ``thread`` -- ranks run concurrently on a ``concurrent.futures`` thread
   pool.  The heavy per-rank kernels are NumPy calls that release the GIL,
   so on a multi-core host the simulator's wall-clock time drops while
-  *modeled* seconds stay untouched.
+  *modeled* seconds stay untouched;
+* ``process`` -- ranks run on a persistent spawn-safe process pool
+  (:class:`~repro.mpi.procexec.ProcessExecutor`): real multi-core
+  parallelism for pure-Python sections too, with large read-only arrays
+  shipped zero-copy via :mod:`~repro.mpi.shm`;
+* ``mpi`` -- ranks run through mpi4py collectives
+  (:class:`~repro.mpi.mpiexec.MPIExecutor`); without an MPI installation
+  a single-rank emulator executes the identical serialize/execute/merge
+  path in-process.
 
 Backends must be observationally identical: results come back in rank
 order, and all cost accounting (compute charges, memory observations,
 stage attribution) is buffered per rank in a :class:`RankContext` and
 merged into the world's clocks in rank order at the superstep barrier.
-A pipeline run therefore produces bit-identical artifacts and identical
+Out-of-process backends ship each rank a *detached* context -- the same
+buffered records, minus the world reference -- and splice the returned
+records into the parent-side contexts before that same merge, so a
+pipeline run produces bit-identical artifacts and identical
 :class:`~repro.mpi.stats.StageClock` / :class:`~repro.mpi.stats.CommLog`
 contents whichever backend executes it.
 """
@@ -36,6 +47,7 @@ from ..errors import CommunicatorError
 
 if TYPE_CHECKING:  # pragma: no cover
     from .comm import SimWorld
+    from .costmodel import MachineModel
 
 __all__ = [
     "RankContext",
@@ -44,9 +56,19 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "EXECUTOR_BACKENDS",
+    "IN_PROCESS_BACKENDS",
     "make_executor",
     "default_executor",
+    "apply_remote_outcomes",
 ]
+
+
+def _restore_context(rank, machine, stack, compute, memory):
+    """Rebuild a detached :class:`RankContext` on the far side of a pickle."""
+    ctx = RankContext(None, rank, stack, machine=machine)
+    ctx._compute = list(compute)
+    ctx._memory = list(memory)
+    return ctx
 
 
 class RankContext(int):
@@ -56,29 +78,70 @@ class RankContext(int):
     can index per-rank state with it directly.  Cost accounting goes
     through the context instead of the world: charges and memory samples
     are buffered locally (no shared mutable state while ranks may be
-    running on worker threads) and merged into the world's
-    :class:`~repro.mpi.stats.StageClock` / memory meter in rank order at
-    the superstep barrier -- making accounting bit-identical across
-    executor backends.
+    running on worker threads or in worker processes) and merged into the
+    world's :class:`~repro.mpi.stats.StageClock` / memory meter in rank
+    order at the superstep barrier -- making accounting bit-identical
+    across executor backends.
 
-    Collectives are whole-world lockstep operations and must not be
-    issued from inside a rank step; they belong between supersteps.
+    Contexts pickle *detached*: the buffered records, stage stack and
+    :class:`~repro.mpi.costmodel.MachineModel` travel (``op_time`` is a
+    pure function of the model's floats, so charges computed in a worker
+    process match the parent bit-for-bit), but the world does not.
+    Accessing :attr:`world` from a detached context raises -- collectives
+    are whole-world lockstep operations and must not be issued from
+    inside a rank step; they belong between supersteps.
     """
 
-    def __new__(cls, world: "SimWorld", rank: int, base_stage: Sequence[str]):
+    def __new__(
+        cls,
+        world: "SimWorld | None",
+        rank: int,
+        base_stage: Sequence[str],
+        machine: "MachineModel | None" = None,
+    ):
         self = super().__new__(cls, rank)
         self._world = world
+        if machine is None and world is not None:
+            machine = world.machine
+        if machine is None:
+            raise CommunicatorError(
+                "RankContext needs a world or an explicit machine model"
+            )
+        self._machine = machine
         self._stack = list(base_stage)
         self._compute: list[tuple[str, float]] = []
         self._memory: list[tuple[str, float]] = []
         return self
+
+    def __reduce__(self):
+        return (
+            _restore_context,
+            (
+                int(self),
+                self._machine,
+                tuple(self._stack),
+                tuple(self._compute),
+                tuple(self._memory),
+            ),
+        )
 
     @property
     def rank(self) -> int:
         return int(self)
 
     @property
+    def detached(self) -> bool:
+        """True in a worker process (no world; accounting is buffered)."""
+        return self._world is None
+
+    @property
     def world(self) -> "SimWorld":
+        if self._world is None:
+            raise CommunicatorError(
+                f"rank {int(self)} is running detached (out-of-process "
+                "executor); the world and its collectives are only "
+                "available between supersteps"
+            )
         return self._world
 
     @property
@@ -103,7 +166,7 @@ class RankContext(int):
 
     def charge_compute(self, ops: float, kind: str = "default") -> None:
         """Charge ``ops`` elementary operations of local work to this rank."""
-        seconds = self._world.machine.op_time(ops, kind=kind)
+        seconds = self._machine.op_time(ops, kind=kind)
         if seconds:
             self._compute.append((self.stage, seconds))
 
@@ -113,7 +176,7 @@ class RankContext(int):
 
     def _merge(self) -> None:
         """Apply the buffered charges to the world (rank-ordered barrier merge)."""
-        world = self._world
+        world = self.world
         scale = world.machine.volume_scale
         rank = int(self)
         with world.account_lock:
@@ -134,16 +197,83 @@ class RankStep(Protocol):
     to :meth:`~repro.mpi.comm.SimWorld.map_ranks`.  The return value is
     collected in rank order.  Steps must only touch rank-private state
     (their arguments, their own slot of any shared list) and must route
-    all cost accounting through ``ctx``.
+    all cost accounting through ``ctx``.  A step destined for an
+    out-of-process backend must additionally be picklable -- prefer
+    module-level functions taking state through per-rank arguments over
+    closures that mutate enclosing scopes (such mutations are silently
+    lost across a process boundary).
     """
 
     def __call__(self, ctx: RankContext, *args: Any) -> Any: ...
+
+
+class _RemoteGuardedStep:
+    """Picklable wrapper injecting pre-decided rank crashes into a step.
+
+    The in-process equivalent is a closure over the world inside
+    ``map_ranks``; worker processes have no world, so the crash decisions
+    (already made deterministically in the parent) travel as a plain
+    ``{rank: exception}`` dict alongside the step.
+    """
+
+    def __init__(self, fn: Callable[..., Any], crash_excs: dict) -> None:
+        self.fn = fn
+        self.crash_excs = crash_excs
+        # keep serialization error labels pointing at the wrapped step
+        self.__qualname__ = (
+            getattr(fn, "__qualname__", None)
+            or getattr(fn, "__name__", None)
+            or repr(fn)
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.fn, self.crash_excs))
+
+    def __call__(self, ctx: RankContext, *args: Any) -> Any:
+        exc = self.crash_excs.get(int(ctx))
+        if exc is not None:
+            raise exc
+        return self.fn(ctx, *args)
+
+
+def apply_remote_outcomes(
+    tasks: Sequence[tuple[RankContext, tuple]],
+    outcomes: Sequence[tuple],
+) -> list[Any]:
+    """Splice worker outcomes back into the parent-side contexts.
+
+    ``outcomes`` is rank-ordered, one entry per task:
+    ``("ok", result, compute_records, memory_records)`` or
+    ``("err", exception)``.  Matching the in-process backends, every rank
+    has already finished (the pool drained) and the lowest-ranked failure
+    propagates; on failure nothing is spliced, so the superstep's
+    transactional no-charge rollback holds.
+    """
+    if len(outcomes) != len(tasks):
+        raise CommunicatorError(
+            f"executor returned {len(outcomes)} outcomes for "
+            f"{len(tasks)} rank tasks"
+        )
+    for outcome in outcomes:
+        if outcome[0] == "err":
+            raise outcome[1]
+    results: list[Any] = []
+    for (ctx, _args), outcome in zip(tasks, outcomes):
+        _tag, result, compute, memory = outcome
+        ctx._compute.extend(compute)
+        ctx._memory.extend(memory)
+        results.append(result)
+    return results
 
 
 class Executor:
     """Strategy for running one superstep's rank tasks."""
 
     name: str = ""
+    #: True when rank steps share the caller's address space.  Worlds use
+    #: this to decide between closure-based step wrapping (free to capture
+    #: anything) and pickled dispatch (steps validated as picklable).
+    in_process: bool = True
 
     def run(
         self,
@@ -154,7 +284,7 @@ class Executor:
         raise NotImplementedError
 
     def shutdown(self) -> None:
-        """Release backend resources (worker threads); idempotent."""
+        """Release backend resources (workers, shared segments); idempotent."""
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.name!r}>"
@@ -220,17 +350,37 @@ class ThreadExecutor(Executor):
 
 
 #: Registered backend names, in documentation order.
-EXECUTOR_BACKENDS = ("serial", "thread")
+EXECUTOR_BACKENDS = ("serial", "thread", "process", "mpi")
+
+#: Backends whose rank steps share the caller's address space (closures
+#: over worlds/locks are fine; enclosing-scope mutation is visible).
+IN_PROCESS_BACKENDS = ("serial", "thread")
 
 _EXECUTOR_CLASSES: dict[str, type[Executor]] = {
     SerialExecutor.name: SerialExecutor,
     ThreadExecutor.name: ThreadExecutor,
 }
 
+
+def _backend_class(name: str) -> type[Executor]:
+    """Resolve a backend name, importing heavy backends lazily."""
+    cls = _EXECUTOR_CLASSES.get(name)
+    if cls is None:
+        if name == "process":
+            from .procexec import ProcessExecutor as cls
+        elif name == "mpi":
+            from .mpiexec import MPIExecutor as cls
+        else:  # pragma: no cover - guarded by make_executor
+            raise KeyError(name)
+        _EXECUTOR_CLASSES[name] = cls
+    return cls
+
+
 # one shared instance per backend name: every world resolving "thread"
-# reuses the same lazily-built pool, bounding worker threads process-wide
-# no matter how many SimWorlds a session creates (pools rebuild lazily
-# after shutdown, so sharing is safe across world lifetimes)
+# reuses the same lazily-built pool, bounding worker threads (and
+# processes) process-wide no matter how many SimWorlds a session creates
+# (pools rebuild lazily after shutdown, so sharing is safe across world
+# lifetimes)
 _DEFAULT_INSTANCES: dict[str, Executor] = {}
 
 
@@ -243,20 +393,18 @@ def make_executor(spec: "str | Executor") -> Executor:
     """
     if isinstance(spec, Executor):
         return spec
-    try:
-        cls = _EXECUTOR_CLASSES[spec]
-    except (KeyError, TypeError):
+    if not isinstance(spec, str) or spec not in EXECUTOR_BACKENDS:
         raise CommunicatorError(
             f"unknown executor backend {spec!r}; options: "
             f"{list(EXECUTOR_BACKENDS)}"
-        ) from None
+        )
     inst = _DEFAULT_INSTANCES.get(spec)
     if inst is None:
-        inst = _DEFAULT_INSTANCES[spec] = cls()
+        inst = _DEFAULT_INSTANCES[spec] = _backend_class(spec)()
     return inst
 
 
 def default_executor() -> str:
     """The default backend name; the ``REPRO_EXECUTOR`` env var overrides
-    it (how CI runs the whole suite under the thread backend)."""
+    it (how CI runs the whole suite under the thread/process backends)."""
     return os.environ.get("REPRO_EXECUTOR", SerialExecutor.name)

@@ -1,0 +1,159 @@
+"""mpi4py-backed executor with a single-rank emulator fallback.
+
+On a real cluster, ``mpirun -n W python -m repro ...`` gives rank 0 the
+driver role (the simulated world, collectives, accounting all live
+there) and the remaining MPI ranks run :meth:`MPIExecutor.serve` worker
+loops: rank 0 broadcasts the cloudpickled step, scatters contiguous
+chunks of serialized rank tasks, and gathers buffered outcomes -- the
+exact chunk protocol of the process backend
+(:func:`~repro.mpi.procexec.run_serialized_chunk`), minus shared-memory
+segments (MPI ranks may live on different nodes, so arrays travel in
+the pickle stream; per-node shared windows are the next step, see
+ROADMAP).
+
+Without an MPI installation the module still imports and the backend
+still runs: an emulated single-rank communicator (the classic
+``mpi4py``-shim pattern) reports size 1, and the executor runs the
+*identical* serialize -> execute -> splice path inline.  Steps therefore
+get the same picklability validation and detached-context semantics in
+every environment, and accounting stays bit-identical to the serial
+backend -- which is what the test suite locks in.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..errors import CommunicatorError
+from .executor import Executor, RankContext, apply_remote_outcomes
+from .procexec import _chunk_bounds, run_serialized_chunk
+from .shm import dumps_step, dumps_task, shm_loads
+
+try:  # pragma: no cover - container has no MPI; covered on real clusters
+    from mpi4py import MPI  # type: ignore[import-not-found]
+
+    HAVE_MPI = True
+except ImportError:
+    MPI = None
+    HAVE_MPI = False
+
+__all__ = ["MPIExecutor", "EmulatedComm", "HAVE_MPI"]
+
+#: broadcast tags for the worker protocol
+_TAG_STEP = "step"
+_TAG_STOP = "stop"
+
+
+class EmulatedComm:
+    """Single-rank stand-in for ``mpi4py.MPI.COMM_WORLD``.
+
+    Implements just the communicator surface the executor uses, with
+    size-1 semantics: broadcasts return their input, scatter/gather move
+    one rank's worth of data, barriers are no-ops.  This keeps every
+    import site and call site identical whether or not mpi4py exists.
+    """
+
+    def Get_rank(self) -> int:
+        return 0
+
+    def Get_size(self) -> int:
+        return 1
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        return obj
+
+    def scatter(self, sendobj: Any, root: int = 0) -> Any:
+        return sendobj[0] if sendobj is not None else None
+
+    def gather(self, sendobj: Any, root: int = 0) -> list:
+        return [sendobj]
+
+    def barrier(self) -> None:
+        return None
+
+
+class MPIExecutor(Executor):
+    """Controller/worker executor over an MPI communicator.
+
+    Built from ``MPI.COMM_WORLD`` when mpi4py is importable, otherwise
+    from an :class:`EmulatedComm` (``emulated`` is True).  Only rank 0
+    may call :meth:`run`; other ranks must sit in :meth:`serve`.
+    """
+
+    name = "mpi"
+    in_process = False
+
+    def __init__(self, comm: Any | None = None) -> None:
+        if comm is not None:
+            self.comm = comm
+            self.emulated = isinstance(comm, EmulatedComm)
+        elif HAVE_MPI:  # pragma: no cover - needs a real MPI installation
+            self.comm = MPI.COMM_WORLD
+            self.emulated = False
+        else:
+            self.comm = EmulatedComm()
+            self.emulated = True
+        self._stopped = False
+
+    # -- controller ------------------------------------------------------
+    def run(
+        self,
+        fn: Any,
+        tasks: Sequence[tuple[RankContext, tuple]],
+    ) -> list[Any]:
+        comm = self.comm
+        if comm.Get_rank() != 0:
+            raise CommunicatorError(
+                "MPIExecutor.run is controller-only (rank 0); worker "
+                "ranks must run MPIExecutor.serve()"
+            )
+        if not tasks:
+            return []
+        # no shared-memory registry here: MPI ranks may be remote, so
+        # arrays ride the pickle stream (validated with clear errors)
+        fn_blob = dumps_step(fn)
+        task_blobs = [
+            dumps_task(int(ctx), (ctx, args)) for ctx, args in tasks
+        ]
+
+        size = comm.Get_size()
+        if size == 1:
+            # single-rank path (emulator, or mpirun -n 1): the identical
+            # serialize -> execute -> splice path, run inline
+            outcome_blobs = [run_serialized_chunk(fn_blob, task_blobs)]
+        else:  # pragma: no cover - needs a real multi-rank MPI launch
+            comm.bcast((_TAG_STEP, fn_blob), root=0)
+            bounds = _chunk_bounds(len(task_blobs), size)
+            chunks = [task_blobs[lo:hi] for lo, hi in bounds]
+            mine = comm.scatter(chunks, root=0)
+            local = run_serialized_chunk(fn_blob, mine)
+            outcome_blobs = comm.gather(local, root=0)
+
+        outcomes = [o for blob in outcome_blobs for o in shm_loads(blob)]
+        return apply_remote_outcomes(tasks, outcomes)
+
+    # -- worker ----------------------------------------------------------
+    def serve(self) -> None:  # pragma: no cover - worker ranks only
+        """Worker-rank loop: execute broadcast steps until ``stop``."""
+        comm = self.comm
+        if comm.Get_rank() == 0:
+            raise CommunicatorError(
+                "rank 0 is the controller; serve() is for ranks > 0"
+            )
+        while True:
+            tag, fn_blob = comm.bcast(None, root=0)
+            if tag == _TAG_STOP:
+                return
+            mine = comm.scatter(None, root=0)
+            comm.gather(run_serialized_chunk(fn_blob, mine), root=0)
+
+    def shutdown(self) -> None:
+        if self._stopped:
+            return
+        self._stopped = True
+        if (  # pragma: no cover - needs a real multi-rank MPI launch
+            not self.emulated
+            and self.comm.Get_size() > 1
+            and self.comm.Get_rank() == 0
+        ):
+            self.comm.bcast((_TAG_STOP, None), root=0)

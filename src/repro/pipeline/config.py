@@ -26,8 +26,11 @@ class PipelineConfig:
     machine: str | MachineModel = "cori-haswell"
     # per-rank compute backend for map_ranks supersteps: "serial" runs
     # ranks in order on the calling thread, "thread" overlaps them on a
-    # worker pool.  Artifacts and modeled accounting are bit-identical
-    # across backends, so -- like align_batch_size -- this is deliberately
+    # worker pool, "process" runs whole rank steps in a spawn-safe
+    # process pool over shared read-only buffers, "mpi" drives mpi4py
+    # ranks (single-rank emulator without an MPI installation).
+    # Artifacts and modeled accounting are bit-identical across
+    # backends, so -- like align_batch_size -- this is deliberately
     # not checkpoint-fingerprinted.  Env override: REPRO_EXECUTOR.
     executor: str = field(default_factory=default_executor)
     # k-mer stage

@@ -116,6 +116,7 @@ class JobService:
         observers=(),
         fault_plan: FaultPlan | None = None,
         fault_injector=None,
+        executor: str | None = None,
     ) -> Worker:
         return Worker(
             self.store,
@@ -124,6 +125,7 @@ class JobService:
             observers=observers,
             fault_plan=fault_plan,
             fault_injector=fault_injector,
+            executor=executor,
         )
 
     def run_worker(
@@ -131,8 +133,9 @@ class JobService:
         max_jobs: int | None = None,
         worker_id: str | None = None,
         fault_plan: FaultPlan | None = None,
+        executor: str | None = None,
     ) -> list[JobRecord]:
         """Drain the queue synchronously in this process."""
-        return self.worker(worker_id, fault_plan=fault_plan).drain(
-            max_jobs=max_jobs
-        )
+        return self.worker(
+            worker_id, fault_plan=fault_plan, executor=executor
+        ).drain(max_jobs=max_jobs)

@@ -247,11 +247,25 @@ class Worker:
         observers: Sequence[PipelineObserver] = (),
         fault_plan: FaultPlan | None = None,
         fault_injector: FaultInjector | None = None,
+        executor: str | None = None,
     ) -> None:
         self.store = store
         self.cache = cache
         self.worker_id = worker_id or f"worker-{os.getpid()}"
         self.extra_observers = list(observers)
+        # executor backend override for every job this worker runs (the
+        # ``repro-jobs worker --executor`` flag).  None defers to the job
+        # spec's own setting, which itself defaults from REPRO_EXECUTOR.
+        # Validated eagerly so a typo fails at worker start, not per job.
+        if executor is not None:
+            from ..mpi.executor import EXECUTOR_BACKENDS
+
+            if executor not in EXECUTOR_BACKENDS:
+                raise JobError(
+                    f"unknown executor backend {executor!r}; options: "
+                    f"{list(EXECUTOR_BACKENDS)}"
+                )
+        self.executor = executor
         if fault_injector is None:
             kill_after = os.environ.get(KILL_AFTER_ENV)
             if fault_plan is None and kill_after:
@@ -286,6 +300,8 @@ class Worker:
     def _execute(self, record: JobRecord) -> JobRecord:
         try:
             reads, config = materialize_spec(record.spec)
+            if self.executor is not None:
+                config.executor = self.executor
         except Exception as exc:
             record = self.store.finish(
                 record, "failed", error=f"spec error: {exc}"
@@ -327,6 +343,7 @@ class Worker:
             )
             summary["cache_hits"] = self.cache.hits - hits0
             summary["cache_misses"] = self.cache.misses - misses0
+            summary["executor"] = config.executor
             record = self.store.finish(record, "done", summary=summary)
         finally:
             # release this job's pins only at a terminal state.  A

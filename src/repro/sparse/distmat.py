@@ -207,6 +207,97 @@ def _concat_coo(shape: tuple[int, int], parts: list[LocalCoo], dtype) -> LocalCo
     return LocalCoo(shape, rows, cols, vals)
 
 
+# ---------------------------------------------------------------------------
+# SpGEMM rank steps (module level, state-through-arguments)
+#
+# These run under any executor backend, including out-of-process ones, so
+# they cannot mutate enclosing scopes: each rank's accumulation state comes
+# in through per-rank arguments and goes back out through the return value;
+# the driver loop in :meth:`DistSparseMatrix.spgemm` owns the state between
+# supersteps.  Charge/observe ordering is part of the bit-identity contract
+# -- do not reorder.
+# ---------------------------------------------------------------------------
+
+
+def _spgemm_multiply_bulk_step(ctx, a_blk, b_blk, partial_nbytes, base_bytes, semiring):
+    """One SUMMA stage's local multiply under bulk (once-per-phase) merge.
+
+    Returns the stage's partial product; the driver appends it to the
+    rank's phase partials (when nonempty) and tracks their byte total,
+    which arrives here as ``partial_nbytes`` the next stage.
+    """
+    part, flops = spgemm_local(a_blk, b_blk, semiring)
+    ctx.charge_compute(max(flops, 1))
+    received = a_blk.nbytes + b_blk.nbytes
+    live = partial_nbytes + (part.nbytes if part.nnz else 0)
+    ctx.observe_memory(base_bytes + received + live)
+    return part
+
+
+def _spgemm_multiply_stream_step(ctx, a_blk, b_blk, prev, base_bytes, shape, semiring):
+    """One SUMMA stage's local multiply folded into a running accumulator."""
+    part, flops = spgemm_local(a_blk, b_blk, semiring)
+    ctx.charge_compute(max(flops, 1))
+    received = a_blk.nbytes + b_blk.nbytes
+    live = (prev.nbytes if prev is not None else 0) + part.nbytes
+    ctx.observe_memory(base_bytes + received + live)
+    if part.nnz or prev is None:
+        pieces = [p for p in (prev, part) if p is not None]
+        merged = _concat_coo(shape, pieces, semiring.out_dtype)
+        merged = merged.deduped(semiring.add_reduce)
+        ctx.charge_compute(merged.nnz)
+        return merged
+    return prev
+
+
+def _spgemm_mask_diagonal(ctx, merged, offset, exclude_diagonal):
+    """Fold the diagonal mask into the phase merge: pruned entries never
+    reach the finished working set."""
+    if exclude_diagonal:
+        ctx.charge_compute(merged.nnz)
+        if merged.nnz:
+            rlo, clo = offset
+            merged = merged.select((merged.rows + rlo) != (merged.cols + clo))
+    return merged
+
+
+def _spgemm_finalize_bulk_step(
+    ctx, parts, shape, offset, base_bytes, semiring, exclude_diagonal
+):
+    """Merge one rank's phase partials into that phase's output columns."""
+    merged = _concat_coo(shape, parts, semiring.out_dtype)
+    merged = merged.deduped(semiring.add_reduce)
+    ctx.charge_compute(merged.nnz)
+    merged = _spgemm_mask_diagonal(ctx, merged, offset, exclude_diagonal)
+    ctx.observe_memory(base_bytes + merged.nbytes)
+    return merged
+
+
+def _spgemm_finalize_stream_step(
+    ctx, accumulated, shape, offset, base_bytes, semiring, exclude_diagonal
+):
+    """Finalize one rank's streamed accumulator as the phase's output."""
+    merged = (
+        accumulated
+        if accumulated is not None
+        else LocalCoo.empty(shape, semiring.out_dtype)
+    )
+    merged = _spgemm_mask_diagonal(ctx, merged, offset, exclude_diagonal)
+    ctx.observe_memory(base_bytes + merged.nbytes)
+    return merged
+
+
+def _spgemm_assemble_step(ctx, parts, shape, semiring):
+    """Concatenate one rank's finished phase outputs into its C block."""
+    total = _concat_coo(shape, parts, semiring.out_dtype)
+    # phases partition the columns, so deduped() only restores the
+    # row-major order of the unphased merge -- no values change
+    total = total.deduped(semiring.add_reduce)
+    ctx.charge_compute(total.nnz)
+    ctx.observe_memory(total.nbytes)
+    return total
+
+
 class DistSparseMatrix:
     """A sparse matrix distributed in 2D blocks over a :class:`ProcGrid`."""
 
@@ -564,82 +655,23 @@ class DistSparseMatrix:
             clo, chi = grid.col_block(out_shape[1], j)
             return block_range(chi - clo, phases, p)
 
-        # per-rank accumulation state; each rank's step touches only its
-        # own slot, so the supersteps are safe under the concurrent
-        # executor backends.  partials/acc are per-phase (rebound at each
-        # phase start); finished_bytes tracks the bytes of already
-        # finalized phase outputs, which stay live to the end.
-        partials: list[list[LocalCoo]]
-        acc: list[LocalCoo | None]
+        # per-rank accumulation state.  The rank steps are module-level
+        # functions (out-of-process executors pickle them), so the state
+        # lives HERE, flowing into each superstep through per-rank
+        # arguments and back out through results.  partials/acc are
+        # per-phase (rebound at each phase start); finished_bytes tracks
+        # the bytes of already finalized phase outputs, which stay live
+        # to the end.
+        bulk = merge_mode == "bulk"
         finished: list[list[LocalCoo]] = [[] for _ in range(nprocs)]
         finished_bytes = [0] * nprocs
-
-        def _multiply_step(ctx, a_blk, b_blk):
-            rank = int(ctx)
-            part, flops = spgemm_local(a_blk, b_blk, semiring)
-            ctx.charge_compute(max(flops, 1))
-            received = a_blk.nbytes + b_blk.nbytes
-            base = finished_bytes[rank]
-            if merge_mode == "bulk":
-                if part.nnz:
-                    partials[rank].append(part)
-                live = sum(p.nbytes for p in partials[rank])
-                ctx.observe_memory(base + received + live)
-            else:
-                prev = acc[rank]
-                live = (prev.nbytes if prev is not None else 0) + part.nbytes
-                ctx.observe_memory(base + received + live)
-                if part.nnz or prev is None:
-                    pieces = [p for p in (prev, part) if p is not None]
-                    merged = _concat_coo(
-                        out_block_shape[rank], pieces, semiring.out_dtype
-                    )
-                    merged = merged.deduped(semiring.add_reduce)
-                    ctx.charge_compute(merged.nnz)
-                    acc[rank] = merged
-
-        def _finalize_phase_step(ctx):
-            rank = int(ctx)
-            if merge_mode == "stream":
-                merged = (
-                    acc[rank]
-                    if acc[rank] is not None
-                    else LocalCoo.empty(out_block_shape[rank], semiring.out_dtype)
-                )
-            else:
-                merged = _concat_coo(
-                    out_block_shape[rank], partials[rank], semiring.out_dtype
-                )
-                merged = merged.deduped(semiring.add_reduce)
-                ctx.charge_compute(merged.nnz)
-            if exclude_diagonal:
-                # fold the diagonal mask into the phase merge: pruned
-                # entries never reach the finished working set
-                ctx.charge_compute(merged.nnz)
-                if merged.nnz:
-                    rlo, clo = offsets[rank]
-                    merged = merged.select(
-                        (merged.rows + rlo) != (merged.cols + clo)
-                    )
-            finished[rank].append(merged)
-            finished_bytes[rank] += merged.nbytes
-            ctx.observe_memory(finished_bytes[rank])
-
-        def _assemble_step(ctx):
-            rank = int(ctx)
-            total = _concat_coo(
-                out_block_shape[rank], finished[rank], semiring.out_dtype
-            )
-            # phases partition the columns, so deduped() only restores the
-            # row-major order of the unphased merge -- no values change
-            total = total.deduped(semiring.add_reduce)
-            ctx.charge_compute(total.nnz)
-            ctx.observe_memory(total.nbytes)
-            return total
+        sem_pr = [semiring] * nprocs
+        excl_pr = [exclude_diagonal] * nprocs
 
         for p in range(phases):
-            partials = [[] for _ in range(nprocs)]
-            acc = [None] * nprocs
+            partials: list[list[LocalCoo]] = [[] for _ in range(nprocs)]
+            partial_bytes = [0] * nprocs
+            acc: list[LocalCoo | None] = [None] * nprocs
             for s in range(q):
                 # broadcast A(:, s) along grid rows (full blocks, every phase)
                 a_recv: list[LocalCoo] = [None] * nprocs
@@ -661,14 +693,52 @@ class DistSparseMatrix:
                     got = grid.col_comms[j].bcast(blk, root=s)
                     for i in range(q):
                         b_recv[grid.rank_of(i, j)] = got[i]
-                # local multiply-accumulate superstep
-                world.map_ranks(_multiply_step, a_recv, b_recv)
-            world.map_ranks(_finalize_phase_step)
+                # local multiply-accumulate superstep.  Each grid row/
+                # column shares ONE broadcast panel object across its
+                # ranks' tasks, so the process backend exports each
+                # panel's arrays to shared memory once, not per rank.
+                if bulk:
+                    parts = world.map_ranks(
+                        _spgemm_multiply_bulk_step,
+                        a_recv,
+                        b_recv,
+                        partial_bytes,
+                        finished_bytes,
+                        sem_pr,
+                    )
+                    for rank, part in enumerate(parts):
+                        if part.nnz:
+                            partials[rank].append(part)
+                            partial_bytes[rank] += part.nbytes
+                else:
+                    acc = world.map_ranks(
+                        _spgemm_multiply_stream_step,
+                        a_recv,
+                        b_recv,
+                        acc,
+                        finished_bytes,
+                        out_block_shape,
+                        sem_pr,
+                    )
+            merged_list = world.map_ranks(
+                _spgemm_finalize_bulk_step if bulk else _spgemm_finalize_stream_step,
+                partials if bulk else acc,
+                out_block_shape,
+                offsets,
+                finished_bytes,
+                sem_pr,
+                excl_pr,
+            )
+            for rank, merged in enumerate(merged_list):
+                finished[rank].append(merged)
+                finished_bytes[rank] += merged.nbytes
 
         if phases == 1:
             blocks = [finished[rank][0] for rank in range(nprocs)]
         else:
-            blocks = world.map_ranks(_assemble_step)
+            blocks = world.map_ranks(
+                _spgemm_assemble_step, finished, out_block_shape, sem_pr
+            )
         return DistSparseMatrix(grid, out_shape, blocks)
 
     def row_reduce(

@@ -20,6 +20,7 @@ from repro import Pipeline, PipelineConfig
 from repro.errors import CommunicatorError, PipelineError
 from repro.mpi import (
     EXECUTOR_BACKENDS,
+    IN_PROCESS_BACKENDS,
     RankContext,
     SerialExecutor,
     SimWorld,
@@ -29,7 +30,12 @@ from repro.mpi import (
 )
 from repro.seq import GenomeSpec, make_genome, sample_reads
 
-BACKENDS = list(EXECUTOR_BACKENDS)
+# These tests exercise in-process semantics: their steps are closures over
+# worlds and enclosing lists, which is exactly what out-of-process backends
+# reject (steps must be picklable, enclosing mutation is lost).  The
+# process/mpi backends get their own contract suite in
+# test_executor_parallel.py.
+BACKENDS = list(IN_PROCESS_BACKENDS)
 
 
 # ---------------------------------------------------------------------------
@@ -41,6 +47,17 @@ class TestMakeExecutor:
     def test_resolves_names(self):
         assert isinstance(make_executor("serial"), SerialExecutor)
         assert isinstance(make_executor("thread"), ThreadExecutor)
+
+    def test_all_backends_registered(self):
+        assert EXECUTOR_BACKENDS == ("serial", "thread", "process", "mpi")
+        for name in EXECUTOR_BACKENDS:
+            ex = make_executor(name)
+            assert ex.name == name
+            assert make_executor(name) is ex  # shared default instance
+        for name in IN_PROCESS_BACKENDS:
+            assert make_executor(name).in_process
+        assert not make_executor("process").in_process
+        assert not make_executor("mpi").in_process
 
     def test_instance_passthrough(self):
         ex = ThreadExecutor(max_workers=2)

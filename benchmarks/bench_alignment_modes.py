@@ -25,7 +25,7 @@ from repro.align import (
     pack_codes,
     xdrop_extend,
 )
-from repro.bench import render_matrix
+from repro.bench import machine_stamp, render_matrix
 from repro.seq import dna
 from repro.seq.simulate import _apply_errors
 
@@ -244,6 +244,7 @@ def append_trajectory(datapoints):
     history.append(
         {
             "date": time.strftime("%Y-%m-%d"),
+            "machine": machine_stamp(),
             "results": datapoints,
         }
     )

@@ -20,7 +20,7 @@ import numpy as np
 import pytest
 
 from repro.align import OverlapClass, classify_overlap, extend_gapless
-from repro.bench import render_matrix
+from repro.bench import machine_stamp, render_matrix
 from repro.core import InducedGraph, local_assembly
 from repro.seq import PackedReads, dna
 from repro.sparse import LocalCoo
@@ -145,6 +145,7 @@ def append_trajectory(datapoints):
     history.append(
         {
             "date": time.strftime("%Y-%m-%d"),
+            "machine": machine_stamp(),
             "results": datapoints,
         }
     )

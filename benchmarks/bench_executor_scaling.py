@@ -27,7 +27,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.bench import render_matrix
+from repro.bench import machine_stamp, render_matrix
 from repro.mpi import SimWorld, cori_haswell
 
 BENCH_JSON = Path(__file__).parent / "BENCH_executor.json"
@@ -94,7 +94,13 @@ def append_trajectory(datapoints):
     history = []
     if BENCH_JSON.exists():
         history = json.loads(BENCH_JSON.read_text()).get("history", [])
-    history.append({"date": time.strftime("%Y-%m-%d"), "results": datapoints})
+    history.append(
+        {
+            "date": time.strftime("%Y-%m-%d"),
+            "machine": machine_stamp(),
+            "results": datapoints,
+        }
+    )
     BENCH_JSON.write_text(
         json.dumps(
             {"bench": "executor_supersteps_per_sec", "history": history},
@@ -155,6 +161,43 @@ def test_smoke_map_ranks_backends_identical():
             wb.clock.per_rank_seconds("Bench"),
         )
         assert ws.memory.by_stage() == wb.memory.by_stage()
+
+
+def test_smoke_trace_digest_identical_across_backends(out_dir):
+    """The modeled-clock span tree is bit-identical on every backend.
+
+    Each backend runs the same traced superstep workload; the digest
+    hashes the canonical tree with wall time excluded, so it must agree
+    exactly.  The serial run's Chrome trace is schema-validated and
+    written to ``benchmarks/out/trace_executor_smoke.json`` -- the CI
+    trace artifact, loadable at chrome://tracing or ui.perfetto.dev.
+    """
+    import json
+
+    from repro.telemetry import Tracer, to_chrome_trace, validate_trace
+
+    digests = {}
+    serial_tracer = None
+    for backend in ("serial", "thread", "process", "mpi"):
+        payloads = make_rank_payloads(8, elems_per_rank=2_000)
+        world = SimWorld(8, cori_haswell(), executor=backend)
+        tracer = Tracer()
+        tracer.attach(world)
+        tracer.begin_run(nprocs=8)
+        with world.stage_scope("Bench"):
+            world.map_ranks(superstep, payloads)
+        tracer.end_run()
+        tracer.detach()
+        digests[backend] = tracer.digest()
+        if backend == "serial":
+            serial_tracer = tracer
+    assert len(set(digests.values())) == 1, digests
+
+    trace = to_chrome_trace(serial_tracer, include_wall=True)
+    assert validate_trace(trace) == []
+    (out_dir / "trace_executor_smoke.json").write_text(
+        json.dumps(trace) + "\n"
+    )
 
 
 def test_smoke_map_ranks_rank_order():

@@ -23,7 +23,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.bench import render_matrix
+from repro.bench import machine_stamp, render_matrix
 from repro.mpi import MemoryBudget, ProcGrid, SimWorld, cori_haswell
 from repro.sparse import DistSparseMatrix, arithmetic_semiring
 
@@ -102,6 +102,7 @@ def append_trajectory(datapoints, planner):
     history.append(
         {
             "date": time.strftime("%Y-%m-%d"),
+            "machine": machine_stamp(),
             "results": datapoints,
             "planner": planner,
         }

@@ -1,0 +1,200 @@
+"""Perf-regression gate over the committed BENCH_*.json trajectories.
+
+Each benchmark appends one stamped entry per run to its trajectory file
+(``history`` list; see ``append_trajectory`` in the ``bench_*`` modules).
+This gate compares the **latest** entry of each trajectory against the
+most recent *earlier* entry recorded on the same machine -- same
+platform, CPU count and executor backend, per the
+:func:`repro.bench.machine_stamp` stamp -- and fails when any wall-clock
+throughput metric (``*_per_sec``) dropped by more than the tolerance
+(default 20%).
+
+Rules keeping the gate honest rather than flaky:
+
+* entries without a machine stamp (pre-stamp history) are never used as
+  a baseline and never checked -- wall throughput from an unknown
+  machine proves nothing;
+* entries from a *different* machine are skipped the same way, so CI
+  runner upgrades do not fail the gate, they just re-seed the baseline;
+* only ``*_per_sec`` metrics gate; derived ratios (``speedup``,
+  ``*_vs_serial``) and modeled quantities are machine-independent and
+  have their own asserts in the benchmarks themselves;
+* rows are matched by their identity keys (everything that is neither a
+  throughput nor a derived ratio), so a benchmark growing a new workload
+  size cannot misalign old rows.
+
+Usage::
+
+    python benchmarks/check_regression.py            # gate every BENCH_*.json
+    python benchmarks/check_regression.py --tolerance 0.3 BENCH_executor.json
+
+Exit status 1 on any regression, 0 otherwise (including "no comparable
+baseline yet").
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+__all__ = [
+    "row_identity",
+    "throughput_metrics",
+    "same_machine",
+    "find_baseline",
+    "compare_entries",
+    "check_trajectory",
+    "main",
+]
+
+#: wall-clock throughput metrics gate; derived ratios and counters do not
+_GATED_SUFFIX = "_per_sec"
+_DERIVED_SUFFIXES = ("_per_sec", "_vs_serial")
+_DERIVED_KEYS = ("speedup",)
+
+#: stamp fields that must agree for two entries to be comparable
+_MACHINE_KEYS = ("platform", "machine", "cpu_count", "executor")
+
+
+def row_identity(row: dict) -> tuple:
+    """The hashable identity of one result row: its non-metric keys.
+
+    Workload parameters (``nprocs``, ``n_chains``, ``phases``, ...) are
+    identity; throughputs and ratios derived from them are not.
+    """
+    return tuple(
+        sorted(
+            (k, v)
+            for k, v in row.items()
+            if not any(k.endswith(s) for s in _DERIVED_SUFFIXES)
+            and k not in _DERIVED_KEYS
+            and isinstance(v, (str, int, float, bool))
+        )
+    )
+
+
+def throughput_metrics(row: dict) -> dict[str, float]:
+    """The gated wall-clock metrics of one row."""
+    return {
+        k: float(v)
+        for k, v in row.items()
+        if k.endswith(_GATED_SUFFIX) and isinstance(v, (int, float))
+    }
+
+
+def same_machine(a: dict | None, b: dict | None) -> bool:
+    """Whether two machine stamps identify the same comparable host."""
+    if not a or not b:
+        return False
+    return all(a.get(k) == b.get(k) for k in _MACHINE_KEYS)
+
+
+def find_baseline(history: list[dict], latest: dict) -> dict | None:
+    """The most recent earlier entry recorded on the latest entry's machine."""
+    stamp = latest.get("machine")
+    if not stamp:
+        return None
+    for entry in reversed(history):
+        if entry is latest:
+            continue
+        if same_machine(entry.get("machine"), stamp):
+            return entry
+    return None
+
+
+def compare_entries(
+    baseline: dict, latest: dict, tolerance: float
+) -> list[str]:
+    """Regression messages for the latest entry vs its baseline.
+
+    A metric regresses when ``new < old * (1 - tolerance)``.  Rows are
+    matched by identity; rows present on only one side are ignored (a
+    benchmark gaining or dropping a workload is not a perf regression).
+    """
+    problems: list[str] = []
+    base_rows = {row_identity(r): r for r in baseline.get("results", [])}
+    for row in latest.get("results", []):
+        base = base_rows.get(row_identity(row))
+        if base is None:
+            continue
+        base_metrics = throughput_metrics(base)
+        for name, new in throughput_metrics(row).items():
+            old = base_metrics.get(name)
+            if old is None or old <= 0:
+                continue
+            if new < old * (1.0 - tolerance):
+                drop = 100.0 * (1.0 - new / old)
+                label = ", ".join(
+                    f"{k}={v}" for k, v in row_identity(row)
+                )
+                problems.append(
+                    f"{name} [{label}]: {old:.2f} -> {new:.2f} "
+                    f"(-{drop:.0f}%, tolerance {tolerance:.0%})"
+                )
+    return problems
+
+
+def check_trajectory(data: dict, tolerance: float) -> tuple[str, list[str]]:
+    """Gate one loaded trajectory; returns (status line, problem list)."""
+    name = data.get("bench", "?")
+    history = [e for e in data.get("history", []) if isinstance(e, dict)]
+    if not history:
+        return f"{name}: empty history, nothing to gate", []
+    latest = history[-1]
+    if not latest.get("machine"):
+        return f"{name}: latest entry is unstamped, skipped", []
+    baseline = find_baseline(history, latest)
+    if baseline is None:
+        return f"{name}: no same-machine baseline yet, skipped", []
+    problems = compare_entries(baseline, latest, tolerance)
+    if problems:
+        return (
+            f"{name}: REGRESSION vs {baseline.get('date', '?')} baseline",
+            problems,
+        )
+    return (
+        f"{name}: ok vs {baseline.get('date', '?')} baseline "
+        f"({len(latest.get('results', []))} row(s))",
+        [],
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when a BENCH_*.json trajectory's latest entry "
+        "regresses its throughput vs the last same-machine entry."
+    )
+    parser.add_argument(
+        "files", nargs="*", type=Path,
+        help="trajectory files (default: benchmarks/BENCH_*.json)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.2, metavar="FRAC",
+        help="allowed fractional throughput drop (default 0.2 = 20%%)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error(f"tolerance must be in [0, 1), got {args.tolerance}")
+    files = args.files or sorted(Path(__file__).parent.glob("BENCH_*.json"))
+    if not files:
+        print("no trajectory files found, nothing to gate")
+        return 0
+    failed = False
+    for path in files:
+        try:
+            data = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"{path}: unreadable ({exc})")
+            failed = True
+            continue
+        status, problems = check_trajectory(data, args.tolerance)
+        print(status)
+        for problem in problems:
+            print(f"  {problem}")
+        failed = failed or bool(problems)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

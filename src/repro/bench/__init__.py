@@ -5,6 +5,7 @@ from .harness import (
     BaselineRuns,
     BenchDataset,
     build_bench_dataset,
+    machine_stamp,
     quality_table,
     render_matrix,
     run_baselines,
@@ -24,4 +25,5 @@ __all__ = [
     "speedup_table",
     "quality_table",
     "render_matrix",
+    "machine_stamp",
 ]

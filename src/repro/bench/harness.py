@@ -40,11 +40,33 @@ __all__ = [
     "speedup_table",
     "quality_table",
     "render_matrix",
+    "machine_stamp",
 ]
 
 #: Grid sizes used by the scaling studies (perfect squares; the paper's
 #: node counts 18..128 are not squares either -- CombBLAS pads internally).
 SCALING_P = [1, 4, 16, 36, 64]
+
+
+def machine_stamp() -> dict:
+    """Identify the physical machine and executor behind a bench entry.
+
+    Wall-clock throughputs are only comparable between runs on the same
+    hardware with the same executor backend; the regression gate
+    (``benchmarks/check_regression.py``) uses this stamp to pick a
+    baseline it may legitimately compare against.  Modeled times need no
+    stamp -- they are deterministic by construction.
+    """
+    import os
+    import platform
+
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "executor": os.environ.get("REPRO_EXECUTOR", "serial"),
+    }
 
 
 def seed_preserving_error(preset: DatasetPreset, scale: int, k: int) -> float:

@@ -66,6 +66,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="print per-stage progress lines as the pipeline runs",
     )
     parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="record a span trace over the modeled clock and write it to "
+        "FILE: Chrome trace-event JSON (open at chrome://tracing or "
+        "ui.perfetto.dev), or flat JSONL when FILE ends in .jsonl",
+    )
+    parser.add_argument(
         "--scaffold", action="store_true",
         help="merge contigs with the scaffolding extension after assembly",
     )
@@ -169,6 +175,11 @@ def main(argv: list[str] | None = None, out=None) -> int:
             from ..faults import FaultInjector, FaultPlan
 
             injector = FaultInjector(FaultPlan.load(args.fault_plan))
+        tracer = None
+        if args.trace_out:
+            from ..telemetry import Tracer
+
+            tracer = Tracer()
         observers = [TraceObserver(out)] if args.trace else []
         pipeline = Pipeline.default(observers=observers)
         result = pipeline.run(
@@ -177,7 +188,27 @@ def main(argv: list[str] | None = None, out=None) -> int:
             until=args.until,
             checkpoint_dir=_checkpoint_dir(args),
             fault_injector=injector,
+            tracer=tracer,
         )
+
+        if tracer is not None:
+            from ..telemetry import summary_table, write_chrome_trace, write_jsonl
+
+            try:
+                if args.trace_out.endswith(".jsonl"):
+                    n = write_jsonl(tracer, args.trace_out)
+                    what = "span record(s)"
+                else:
+                    n = write_chrome_trace(
+                        tracer, args.trace_out, include_wall=True
+                    )
+                    what = "trace event(s)"
+            except OSError as exc:
+                raise CliError(
+                    f"cannot write trace {args.trace_out!r}: {exc}"
+                ) from exc
+            print(f"wrote {n} {what} to {args.trace_out}", file=out)
+            print(summary_table(tracer), file=out)
 
         resumed = sum(1 for _, why in result.stages_skipped if why == "checkpoint")
         if resumed:

@@ -9,6 +9,7 @@ Subcommands mirror the :class:`~repro.service.JobService` facade::
     repro-jobs watch  --root R JOB          # tail the event log
     repro-jobs cancel --root R JOB
     repro-jobs gc     --root R --budget-mb 64
+    repro-jobs top    --root R [--watch]    # states + fleet metrics
 
 All state lives under ``--root`` (or ``$REPRO_JOBS_ROOT``): one JSON
 record + event log per job, plus the shared artifact cache every job
@@ -120,6 +121,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_root(p)
     p.add_argument("--budget-mb", type=positive_float, default=None,
                    help="one-off budget for this collection")
+
+    p = sub.add_parser(
+        "top", help="live view: job states, fleet metrics, cache stats"
+    )
+    _add_root(p)
+    p.add_argument("--watch", action="store_true",
+                   help="refresh repeatedly instead of printing one frame")
+    p.add_argument("--interval", type=positive_float, default=2.0,
+                   help="seconds between refreshes with --watch")
+    p.add_argument("--iterations", type=positive_int, default=None,
+                   help="stop --watch after this many frames")
 
     p = sub.add_parser("worker", help="run a worker loop over the queue")
     _add_root(p)
@@ -295,6 +307,71 @@ def _cmd_gc(svc: JobService, args, out) -> int:
     return 0
 
 
+def _top_frame(svc: JobService) -> str:
+    """One rendered ``top`` frame: states, fleet metrics, cache stats."""
+    from ..service.store import JOB_STATES
+    from ..telemetry.metrics import MetricsRegistry
+
+    records = svc.list_jobs()
+    counts = {state: 0 for state in JOB_STATES}
+    for r in records:
+        counts[r.state] = counts.get(r.state, 0) + 1
+    lines = [
+        "jobs:     "
+        + "  ".join(f"{state}={counts[state]}" for state in JOB_STATES)
+        + f"  total={len(records)}"
+    ]
+    running = [r for r in records if r.state == "running"]
+    for r in running:
+        worker = (r.lease or {}).get("worker", "?")
+        done = sum(1 for v in r.progress.values() if v in ("done", "cached"))
+        lines.append(
+            f"  {r.job_id}  worker={worker}  "
+            f"stages {done}/{len(r.progress) or '?'}"
+        )
+    # fold every worker's persisted snapshot into one fleet-wide registry
+    fleet = MetricsRegistry()
+    workers = []
+    metrics_dir = svc.store.metrics_dir
+    if metrics_dir.is_dir():
+        for path in sorted(metrics_dir.glob("*.json")):
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    snap = json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                continue
+            workers.append(snap.get("worker", path.stem))
+            fleet.merge(snap)
+    lines.append("")
+    lines.append(
+        f"metrics ({len(workers)} worker snapshot(s)"
+        + (": " + ", ".join(workers) if workers else "")
+        + ")"
+    )
+    lines.append(fleet.render())
+    stats = svc.cache.stats()
+    lines.append("")
+    lines.append(
+        f"cache:    {stats['entries']} entries, {stats['total_bytes']} bytes"
+        f" ({stats['pinned']} pinned), hits={stats['hits']} "
+        f"misses={stats['misses']} evictions={stats['evictions']}"
+    )
+    return "\n".join(lines)
+
+
+def _cmd_top(svc: JobService, args, out) -> int:
+    frames = 0
+    while True:
+        print(_top_frame(svc), file=out)
+        frames += 1
+        if not args.watch:
+            return 0
+        if args.iterations is not None and frames >= args.iterations:
+            return 0
+        print("", file=out)
+        time.sleep(args.interval)
+
+
 def _cmd_worker(svc: JobService, args, out) -> int:
     if args.adopt:
         for job_id in svc.resume():
@@ -327,6 +404,7 @@ _COMMANDS = {
     "watch": _cmd_watch,
     "cancel": _cmd_cancel,
     "gc": _cmd_gc,
+    "top": _cmd_top,
     "worker": _cmd_worker,
 }
 

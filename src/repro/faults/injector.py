@@ -107,6 +107,11 @@ class FaultInjector:
         event = {"n": len(self.events), "site": site, "kind": rule.kind}
         event.update(detail)
         self.events.append(event)
+        from ..telemetry.metrics import get_registry
+
+        metrics = get_registry()
+        metrics.counter("faults.injected").inc()
+        metrics.counter(f"faults.{rule.kind}").inc()
         for listener in list(self.listeners):
             listener(event)
         return event

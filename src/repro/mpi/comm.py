@@ -20,12 +20,14 @@ buffers as owned data.
 from __future__ import annotations
 
 import threading
+import time
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator, Sequence
 
 import numpy as np
 
 from ..errors import CommunicatorError
+from ..telemetry.metrics import get_registry
 from .costmodel import MachineModel, zero_cost
 from .executor import (
     Executor,
@@ -138,6 +140,11 @@ class SimWorld:
         #: optional FaultInjector consulted at every superstep boundary
         #: (duck-typed so the MPI layer stays decoupled from repro.faults)
         self.fault_injector = None
+        #: optional :class:`~repro.telemetry.spans.Tracer` recording a
+        #: span per superstep/collective/stall on the modeled clock
+        #: (attached via ``Tracer.attach``; every hook is a None-guard so
+        #: untraced runs pay one attribute read per site)
+        self.tracer = None
         self._executor = make_executor(executor)
         self.comm = SimComm(self, list(range(nprocs)), label="world")
 
@@ -273,15 +280,28 @@ class SimWorld:
         else:
             runner = fn
 
+        wall0 = time.perf_counter()
         results = self._executor.run(runner, tasks)
+        wall = time.perf_counter() - wall0
+        tracer = self.tracer
+        if tracer is not None:
+            # read the buffered records before the merge clears them; the
+            # records are rank-ordered and backend-independent, so the
+            # resulting spans are too
+            tracer.superstep(self.stage, ctxs, wall=wall)
         for ctx in ctxs:
             ctx._merge()
+        metrics = get_registry()
+        metrics.counter("mpi.supersteps").inc()
+        metrics.histogram("mpi.superstep_wall_seconds").observe(wall)
         for action in stall_actions:
             if 0 <= action["rank"] < self.nprocs:
                 with self.account_lock:
                     self.clock.charge_compute(
                         self.stage, action["rank"], action["seconds"]
                     )
+                if tracer is not None:
+                    tracer.stall(self.stage, action["rank"], action["seconds"])
         return results
 
     def _check_not_in_rank_step(self, what: str) -> None:
@@ -300,6 +320,8 @@ class SimWorld:
         if seconds:
             with self.account_lock:
                 self.clock.charge_compute(self.stage, rank, seconds)
+            if self.tracer is not None:
+                self.tracer.compute(rank, seconds)
 
     def charge_compute_all(self, ops_per_rank: Sequence[float], kind: str = "default") -> None:
         """Charge per-rank op counts in one vectorized clock call."""
@@ -312,6 +334,8 @@ class SimWorld:
         if seconds.any():
             with self.account_lock:
                 self.clock.charge_compute_all(self.stage, seconds)
+            if self.tracer is not None:
+                self.tracer.compute_all(seconds)
 
     def observe_memory(self, rank: int, nbytes: float) -> None:
         """Record one working-set sample under the current stage, scaled by
@@ -392,6 +416,21 @@ class SimComm:
                     modeled_seconds=seconds,
                 )
             )
+            tracer = self.world.tracer
+            if tracer is not None:
+                tracer.collective(
+                    op,
+                    stage,
+                    self.ranks,
+                    seconds,
+                    int(total_bytes),
+                    int(max_bytes),
+                    messages,
+                )
+        metrics = get_registry()
+        metrics.counter("comm.ops").inc()
+        metrics.counter("comm.bytes").inc(total_bytes)
+        metrics.counter("comm.modeled_seconds").inc(seconds)
 
     # -- collectives -----------------------------------------------------
     def barrier(self) -> None:

@@ -63,11 +63,12 @@ __all__ = [
 ]
 
 
-def _restore_context(rank, machine, stack, compute, memory):
+def _restore_context(rank, machine, stack, compute, memory, spans=()):
     """Rebuild a detached :class:`RankContext` on the far side of a pickle."""
     ctx = RankContext(None, rank, stack, machine=machine)
     ctx._compute = list(compute)
     ctx._memory = list(memory)
+    ctx._spans = list(spans)
     return ctx
 
 
@@ -111,6 +112,12 @@ class RankContext(int):
         self._stack = list(base_stage)
         self._compute: list[tuple[str, float]] = []
         self._memory: list[tuple[str, float]] = []
+        #: named kernel sections opened via :meth:`span`:
+        #: (name, stage, modeled_seconds, wall_seconds) per section, in
+        #: completion order.  Buffered exactly like compute charges (and
+        #: spliced back from worker processes the same way) so an
+        #: attached tracer sees identical records on every backend.
+        self._spans: list[tuple[str, str, float, float]] = []
         return self
 
     def __reduce__(self):
@@ -122,6 +129,7 @@ class RankContext(int):
                 tuple(self._stack),
                 tuple(self._compute),
                 tuple(self._memory),
+                tuple(self._spans),
             ),
         )
 
@@ -174,6 +182,27 @@ class RankContext(int):
         """Record one working-set sample for this rank under the current stage."""
         self._memory.append((self.stage, nbytes))
 
+    @contextmanager
+    def span(self, name: str) -> Iterator[None]:
+        """Mark a named kernel section of this rank's step.
+
+        The section's *modeled* width is the compute seconds charged
+        inside the block (so it nests correctly in the rank's superstep
+        lane on any backend); wall time is measured alongside for
+        profiling.  Sections are flat -- nest stage scopes, not spans.
+        """
+        import time as _time
+
+        modeled0 = sum(sec for _, sec in self._compute)
+        wall0 = _time.perf_counter()
+        try:
+            yield
+        finally:
+            modeled = sum(sec for _, sec in self._compute) - modeled0
+            self._spans.append(
+                (name, self.stage, modeled, _time.perf_counter() - wall0)
+            )
+
     def _merge(self) -> None:
         """Apply the buffered charges to the world (rank-ordered barrier merge)."""
         world = self.world
@@ -186,6 +215,7 @@ class RankContext(int):
                 world.memory.observe(rank, nbytes * scale, stage=stage)
         self._compute.clear()
         self._memory.clear()
+        self._spans.clear()
 
 
 class RankStep(Protocol):
@@ -243,7 +273,7 @@ def apply_remote_outcomes(
     """Splice worker outcomes back into the parent-side contexts.
 
     ``outcomes`` is rank-ordered, one entry per task:
-    ``("ok", result, compute_records, memory_records)`` or
+    ``("ok", result, compute_records, memory_records, span_records)`` or
     ``("err", exception)``.  Matching the in-process backends, every rank
     has already finished (the pool drained) and the lowest-ranked failure
     propagates; on failure nothing is spliced, so the superstep's
@@ -259,9 +289,10 @@ def apply_remote_outcomes(
             raise outcome[1]
     results: list[Any] = []
     for (ctx, _args), outcome in zip(tasks, outcomes):
-        _tag, result, compute, memory = outcome
+        _tag, result, compute, memory, spans = outcome
         ctx._compute.extend(compute)
         ctx._memory.extend(memory)
+        ctx._spans.extend(spans)
         results.append(result)
     return results
 

@@ -14,8 +14,9 @@ which out-of-process execution realizes in four moves:
 2. tasks are dispatched in contiguous chunks (one per worker) so a
    64-rank superstep costs ~``n_workers`` IPC round-trips, not 64;
 3. workers run their chunk and return buffered outcomes
-   (``("ok", result, compute, memory)`` / ``("err", exc)``) -- never
-   touching shared state, so a mid-superstep failure charges nothing;
+   (``("ok", result, compute, memory, spans)`` / ``("err", exc)``) --
+   never touching shared state, so a mid-superstep failure charges
+   nothing;
 4. the parent splices outcomes into the parent-side contexts
    (:func:`~repro.mpi.executor.apply_remote_outcomes`) and the ordinary
    rank-ordered merge runs, bit-identical to the serial backend.
@@ -127,7 +128,9 @@ def run_serialized_chunk(fn_blob: bytes, task_blobs: list[bytes]) -> bytes:
         except Exception as exc:
             outcomes.append(("err", exc))
         else:
-            outcomes.append(("ok", result, ctx._compute, ctx._memory))
+            outcomes.append(
+                ("ok", result, ctx._compute, ctx._memory, ctx._spans)
+            )
     return _safe_outcome_dumps(outcomes)
 
 

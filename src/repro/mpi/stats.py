@@ -177,6 +177,26 @@ class StageClock:
             total += self._comm[stage]
         return total
 
+    def stage_imbalance(self, stage: str) -> float:
+        """Load imbalance of one stage: max over mean of per-rank totals.
+
+        1.0 is a perfectly balanced stage; the paper's LPT-vs-round-robin
+        comparison is exactly a fight over this number.  Stages with no
+        charges (or an all-zero profile) report 1.0 -- nothing is
+        imbalanced about doing nothing.
+        """
+        totals = self.per_rank_seconds(stage)
+        mean = float(totals.mean()) if totals.size else 0.0
+        if mean <= 0.0:
+            return 1.0
+        return float(totals.max()) / mean
+
+    def per_rank_percentile(self, stage: str, q: float) -> float:
+        """The ``q``-th percentile (0-100) of per-rank totals for a stage."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        return float(np.percentile(self.per_rank_seconds(stage), q))
+
     def merge_stage(self, src: str, dst: str) -> None:
         """Fold the charges of stage ``src`` into stage ``dst``."""
         for table in (self._compute, self._comm):

@@ -20,6 +20,7 @@ from .report import (
     breakdown_table,
     memory_table,
     parallel_efficiency,
+    rank_breakdown_table,
     scaling_table,
 )
 
@@ -42,6 +43,7 @@ __all__ = [
     "ScalingPoint",
     "scaling_table",
     "breakdown_table",
+    "rank_breakdown_table",
     "memory_table",
     "parallel_efficiency",
     "ascii_line_chart",

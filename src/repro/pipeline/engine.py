@@ -286,6 +286,9 @@ class PipelineResult:
     recoveries: list[dict] = field(default_factory=list)
     #: faults an attached injector fired during this run
     faults_injected: int = 0
+    #: the run's :class:`~repro.telemetry.Tracer` when one was passed to
+    #: ``run(tracer=...)``; its digest is backend-independent
+    trace: Any = None
     #: this run's MemoryBudget, snapshotted at run end (budgets are
     #: per-run objects, so a later run on the same world cannot rewrite
     #: an earlier result's audit)
@@ -547,6 +550,7 @@ class Pipeline:
         keep_artifacts: bool | None = None,
         observers: Sequence[PipelineObserver] = (),
         fault_injector: Any = None,
+        tracer: Any = None,
     ) -> PipelineResult:
         """Execute the pipeline (or the demanded part of it).
 
@@ -587,6 +591,14 @@ class Pipeline:
             ``result.recoveries``); checkpoint faults degrade to
             recompute via the ``CheckpointLoadError`` fallback.  Every
             fired fault surfaces as an ``on_stage_note``.
+        tracer:
+            A :class:`~repro.telemetry.Tracer` to attach for this run.
+            Stages, supersteps, collectives and injected stalls are
+            recorded as a span tree over the modeled clock (available as
+            ``result.trace``); recovered rank failures appear as closed
+            stage spans with ``failed``/``attempt`` attributes, one per
+            retry.  The modeled tree is bit-identical across executor
+            backends.
         """
         config = config or PipelineConfig()
         config.validate()
@@ -626,6 +638,14 @@ class Pipeline:
 
         result = PipelineResult(config=config, world=ctx.world, counts=ctx.counts)
 
+        if tracer is not None:
+            # the executor name is recorded on the tracer itself, not as a
+            # run attribute: attrs enter the digest, and the digest must
+            # agree across backends
+            tracer.attach(ctx.world)
+            tracer.begin_run(nprocs=ctx.world.nprocs, machine=machine.name)
+            result.trace = tracer
+
         injector = fault_injector
         prev_injector = None
         fault_listener = None
@@ -664,6 +684,8 @@ class Pipeline:
             for stage in stage_slice:
                 if stage.name not in selected_names:
                     result.stages_skipped.append((stage.name, "artifact"))
+                    if tracer is not None:
+                        tracer.skip_stage(stage.name, "artifact")
                     notify("on_stage_skip", stage.name, ctx, "artifact")
                     continue
                 if ckpt is not None:
@@ -692,6 +714,8 @@ class Pipeline:
                             result.stages_skipped.append(
                                 (stage.name, "checkpoint")
                             )
+                            if tracer is not None:
+                                tracer.skip_stage(stage.name, "checkpoint")
                             notify(
                                 "on_stage_skip", stage.name, ctx, "checkpoint"
                             )
@@ -706,6 +730,11 @@ class Pipeline:
                 attempt = 0
                 while True:
                     notify("on_stage_start", stage.name, ctx)
+                    if tracer is not None:
+                        if attempt:
+                            tracer.begin_stage(stage.name, attempt=attempt)
+                        else:
+                            tracer.begin_stage(stage.name)
                     modeled0 = _modeled_seconds(ctx.world, stage.name)
                     wall0 = time.perf_counter()
                     artifacts_before = dict(ctx.artifacts)
@@ -724,6 +753,8 @@ class Pipeline:
                         ctx.counts.clear()
                         ctx.counts.update(counts_before)
                         attempt += 1
+                        if tracer is not None:
+                            tracer.fail_stage(type(exc).__name__, attempt)
                         if attempt > config.stage_max_retries:
                             notify(
                                 "on_stage_note", stage.name, ctx,
@@ -754,6 +785,8 @@ class Pipeline:
                     ),
                     wall_seconds=time.perf_counter() - wall0,
                 )
+                if tracer is not None:
+                    tracer.end_stage(wall=timing.wall_seconds)
                 result.stages_run.append(stage.name)
                 notify("on_stage_end", stage.name, ctx, timing)
                 if ckpt is not None:
@@ -773,8 +806,13 @@ class Pipeline:
             # stages beyond `until` are reported as skipped, not dropped
             for stage in self.stages[len(stage_slice):]:
                 result.stages_skipped.append((stage.name, "until"))
+                if tracer is not None:
+                    tracer.skip_stage(stage.name, "until")
                 notify("on_stage_skip", stage.name, ctx, "until")
         finally:
+            if tracer is not None:
+                tracer.end_run(wall=time.perf_counter() - t0)
+                tracer.detach()
             if injector is not None:
                 injector.listeners.remove(fault_listener)
                 ctx.world.fault_injector = prev_injector

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from .elba import MAIN_STAGES, PipelineResult
 
 __all__ = [
@@ -19,6 +21,7 @@ __all__ = [
     "breakdown_table",
     "parallel_efficiency",
     "memory_table",
+    "rank_breakdown_table",
 ]
 
 
@@ -115,6 +118,64 @@ def memory_table(label: str, results: list[PipelineResult]) -> str:
         violations += f"{len(r.budget_violations):<12}"
     lines.append(budgets)
     lines.append(violations)
+    return "\n".join(lines)
+
+
+def rank_breakdown_table(label: str, result: PipelineResult) -> str:
+    """Fig. 5-style per-rank breakdown of one run.
+
+    One row per rank, one column per main stage, in modeled seconds;
+    the footer reports each stage's makespan (max over ranks), its
+    median rank, and the max/mean load imbalance -- the quantity the
+    paper's partitioning comparison optimizes.
+    """
+    clock = result.world.clock
+    nprocs = clock.nprocs
+    charged = clock.stages()
+    # a main stage may appear only through its substages (ExtractContig
+    # charges everything under "ExtractContig/..."), so match on either
+    stages = [
+        s for s in MAIN_STAGES
+        if s in charged or any(n.startswith(s + "/") for n in charged)
+    ]
+    per_rank = {
+        s: (
+            clock.per_rank_seconds(s)
+            if s in charged
+            else np.zeros(nprocs)
+        )
+        for s in stages
+    }
+    # fold substage charges ("ExtractContig/...") into their main stage
+    for name in charged:
+        if "/" in name:
+            main = name.split("/", 1)[0]
+            if main in per_rank:
+                per_rank[main] = per_rank[main] + clock.per_rank_seconds(name)
+    header = f"{'rank':<6}" + "".join(f"{s:>16}" for s in stages)
+    lines = [f"per-rank breakdown -- {label}", header]
+    for rank in range(nprocs):
+        row = f"{rank:<6}" + "".join(
+            f"{per_rank[s][rank]:>16.5f}" for s in stages
+        )
+        lines.append(row)
+    def imbalance(arr) -> float:
+        mean = float(arr.mean()) if arr.size else 0.0
+        return float(arr.max()) / mean if mean > 0 else 1.0
+
+    lines.append(
+        f"{'max':<6}" + "".join(f"{per_rank[s].max():>16.5f}" for s in stages)
+    )
+    lines.append(
+        f"{'p50':<6}" + "".join(
+            f"{np.percentile(per_rank[s], 50.0):>16.5f}" for s in stages
+        )
+    )
+    lines.append(
+        f"{'imbal':<6}" + "".join(
+            f"{imbalance(per_rank[s]):>16.2f}" for s in stages
+        )
+    )
     return "\n".join(lines)
 
 

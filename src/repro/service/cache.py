@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING
 from ..errors import ReproError
 from ..mpi.memory import MemoryBudget
 from ..pipeline.checkpoint import CheckpointLoadError, CheckpointStore
+from ..telemetry.metrics import get_registry
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..pipeline.config import PipelineConfig
@@ -192,6 +193,7 @@ class SharedArtifactCache(CheckpointStore):
         present = super().has(stage_name, fingerprint)
         if not present:
             self.misses += 1
+            get_registry().counter("cache.misses").inc()
         return present
 
     def load(self, stage: "Stage", fingerprint: str, ctx: "RunContext") -> None:
@@ -201,10 +203,14 @@ class SharedArtifactCache(CheckpointStore):
         except CheckpointLoadError:
             self.load_failures += 1
             self.misses += 1
+            metrics = get_registry()
+            metrics.counter("cache.load_failures").inc()
+            metrics.counter("cache.misses").inc()
             idx = self._reconcile(self._read_index())
             self._write_index(idx)
             raise
         self.hits += 1
+        get_registry().counter("cache.hits").inc()
         idx = self._read_index()
         self._touch(idx, name)
         self._write_index(idx)
@@ -258,10 +264,12 @@ class SharedArtifactCache(CheckpointStore):
             size = files[name].get("bytes", 0)
             if self.delete(name):
                 self.bytes_evicted += size
+                get_registry().counter("cache.bytes_evicted").inc(size)
             total -= size
             del files[name]
             evicted.append(name)
             self.evictions += 1
+            get_registry().counter("cache.evictions").inc()
         self._write_index(idx)
         return evicted
 

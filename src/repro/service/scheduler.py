@@ -248,6 +248,7 @@ class Worker:
         fault_plan: FaultPlan | None = None,
         fault_injector: FaultInjector | None = None,
         executor: str | None = None,
+        trace_jobs: bool = True,
     ) -> None:
         self.store = store
         self.cache = cache
@@ -278,6 +279,9 @@ class Worker:
         # a prebuilt injector to share fire-state across worker
         # generations (how chaos tests model a restarted worker fleet)
         self.fault_injector = fault_injector
+        # persist a span trace per job (<job>.trace.jsonl in the store
+        # root) plus a per-worker metrics snapshot after every job
+        self.trace_jobs = trace_jobs
 
     def run_once(self) -> JobRecord | None:
         """Claim and fully process one job; None when the queue is idle."""
@@ -321,6 +325,12 @@ class Worker:
             )
         observers.extend(self.extra_observers)
 
+        tracer = None
+        if self.trace_jobs:
+            from ..telemetry import Tracer
+
+            tracer = Tracer()
+
         hits0, misses0 = self.cache.hits, self.cache.misses
         try:
             with self.cache.pin_scope(record.job_id):
@@ -331,6 +341,7 @@ class Worker:
                     checkpoint_store=self.cache,
                     observers=observers,
                     fault_injector=self.fault_injector,
+                    tracer=tracer,
                 )
         except JobCancelled:
             record = self.store.finish(record, "cancelled")
@@ -344,6 +355,10 @@ class Worker:
             summary["cache_hits"] = self.cache.hits - hits0
             summary["cache_misses"] = self.cache.misses - misses0
             summary["executor"] = config.executor
+            trace_file = self._write_trace(record.job_id, tracer)
+            if trace_file is not None:
+                summary["trace_file"] = trace_file
+                summary["trace_digest"] = tracer.digest()
             record = self.store.finish(record, "done", summary=summary)
         finally:
             # release this job's pins only at a terminal state.  A
@@ -353,7 +368,49 @@ class Worker:
             # a real SIGKILL would leave them
             if record.terminal:
                 self.cache.unpin(record.job_id)
+            self._publish_metrics()
         return record
+
+    def _write_trace(self, job_id: str, tracer) -> str | None:
+        """Persist the job's span trace next to its record; None on miss.
+
+        A trace write failure never fails the job -- observability is
+        strictly additive.
+        """
+        if tracer is None or tracer._root is None:
+            return None
+        from ..telemetry import write_jsonl
+
+        path = self.store.trace_path(job_id)
+        try:
+            write_jsonl(tracer, path)
+        except OSError:
+            return None
+        return path.name
+
+    def _publish_metrics(self) -> None:
+        """Atomically publish this worker's metrics snapshot.
+
+        One JSON file per worker under ``store.root/metrics/``; the
+        ``repro-jobs top`` view merges them across workers.  Best-effort:
+        a publish failure never affects job state.
+        """
+        import json
+        import tempfile
+
+        from ..telemetry.metrics import get_registry
+
+        snap = get_registry().snapshot()
+        snap["worker"] = self.worker_id
+        try:
+            out_dir = self.store.metrics_dir
+            out_dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=out_dir, suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(snap, fh, sort_keys=True)
+            os.replace(tmp, out_dir / f"{self.worker_id}.json")
+        except OSError:
+            pass
 
     def _fail_or_retry(self, record: JobRecord, exc: Exception) -> JobRecord:
         """Route one failed attempt: backoff requeue or terminal failure."""

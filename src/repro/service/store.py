@@ -25,6 +25,7 @@ from typing import Callable, Iterable
 
 from ..errors import ReproError
 from ..faults.retry import RetryPolicy
+from ..telemetry.metrics import get_registry
 
 __all__ = [
     "JobError",
@@ -176,6 +177,21 @@ class JobStore:
     def events_path(self, job_id: str) -> Path:
         return self.root / f"{job_id}.events.jsonl"
 
+    def trace_path(self, job_id: str) -> Path:
+        """Where a worker persists the job's span trace (JSONL).
+
+        The ``.trace.jsonl`` suffix keeps it out of ``list_jobs``'s
+        ``*.json`` glob.
+        """
+        return self.root / f"{job_id}.trace.jsonl"
+
+    @property
+    def metrics_dir(self) -> Path:
+        """Per-worker metrics snapshots live in a subdirectory (the job
+        glob is non-recursive, so snapshots can never be mistaken for
+        job records)."""
+        return self.root / "metrics"
+
     # -- record IO -------------------------------------------------------
     def save(self, record: JobRecord) -> None:
         """Atomically (re)write one job record."""
@@ -308,6 +324,7 @@ class JobStore:
         record.error = error
         record.not_before = now + max(0.0, float(delay))
         self.save(record)
+        get_registry().counter("jobs.retries_scheduled").inc()
         self.append_event(
             record.job_id,
             "retry_scheduled",
@@ -375,6 +392,7 @@ class JobStore:
                 },
             )
             self.save(record)
+            get_registry().counter("jobs.claimed").inc()
             self.append_event(
                 record.job_id,
                 "adopted" if adopted else "claimed",
@@ -404,6 +422,7 @@ class JobStore:
         if record.state == "queued":
             record.state = "cancelled"
             record.finished_at = self.clock()
+            get_registry().counter("jobs.cancelled").inc()
         record.cancel_requested = True
         self.save(record)
         self.append_event(job_id, "cancel_requested")
@@ -426,6 +445,7 @@ class JobStore:
         record.finished_at = self.clock()
         record.lease = None
         self.save(record)
+        get_registry().counter(f"jobs.{state}").inc()
         self.append_event(record.job_id, state, error=error)
         return record
 

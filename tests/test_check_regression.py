@@ -1,0 +1,216 @@
+"""The perf-regression gate must catch real slowdowns and skip noise.
+
+``benchmarks/check_regression.py`` is a standalone script (it gates the
+committed BENCH_*.json trajectories in CI), so it is loaded here by file
+path rather than imported from the package.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[1] / "benchmarks" / "check_regression.py"
+_spec = importlib.util.spec_from_file_location("check_regression", _SCRIPT)
+gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gate)
+
+
+STAMP = {
+    "platform": "Linux-6.1-x86_64",
+    "machine": "x86_64",
+    "python": "3.11.7",
+    "cpu_count": 8,
+    "executor": "serial",
+}
+OTHER_STAMP = {**STAMP, "cpu_count": 64}
+
+
+def entry(date, results, machine=STAMP):
+    e = {"date": date, "results": results}
+    if machine is not None:
+        e["machine"] = dict(machine)
+    return e
+
+
+def row(nprocs, per_sec, speedup=None):
+    r = {"nprocs": nprocs, "elems": 1000, "serial_supersteps_per_sec": per_sec}
+    if speedup is not None:
+        r["speedup"] = speedup
+    return r
+
+
+def trajectory(*entries, bench="t"):
+    return {"bench": bench, "history": list(entries)}
+
+
+class TestRowMatching:
+    def test_identity_excludes_metrics_and_ratios(self):
+        a = row(4, 100.0, speedup=2.0)
+        b = row(4, 75.0, speedup=9.0)
+        assert gate.row_identity(a) == gate.row_identity(b)
+        assert gate.row_identity(row(4, 100.0)) != gate.row_identity(row(8, 100.0))
+
+    def test_throughput_metrics_only_per_sec(self):
+        r = {"nprocs": 4, "x_per_sec": 10.0, "speedup": 3.0, "y_vs_serial": 1.1}
+        assert gate.throughput_metrics(r) == {"x_per_sec": 10.0}
+
+    def test_non_scalar_identity_values_ignored(self):
+        r = {"nprocs": 4, "cfg": {"nested": 1}, "z_per_sec": 5.0}
+        assert gate.row_identity(r) == (("nprocs", 4),)
+
+
+class TestMachineMatching:
+    def test_same_stamp_matches(self):
+        assert gate.same_machine(STAMP, dict(STAMP))
+
+    def test_different_cpu_count_does_not(self):
+        assert not gate.same_machine(STAMP, OTHER_STAMP)
+
+    def test_missing_stamp_does_not(self):
+        assert not gate.same_machine(STAMP, None)
+        assert not gate.same_machine(None, STAMP)
+
+    def test_python_version_is_not_identity(self):
+        # a patch-level interpreter bump should not re-seed the baseline
+        assert gate.same_machine(STAMP, {**STAMP, "python": "3.11.9"})
+
+
+class TestBaselineSelection:
+    def test_picks_most_recent_same_machine(self):
+        history = [
+            entry("d1", [row(4, 50.0)]),
+            entry("d2", [row(4, 60.0)], machine=OTHER_STAMP),
+            entry("d3", [row(4, 70.0)]),
+            entry("d4", [row(4, 80.0)]),
+        ]
+        base = gate.find_baseline(history, history[-1])
+        assert base is history[2]
+
+    def test_skips_unstamped_entries(self):
+        history = [
+            entry("d1", [row(4, 50.0)], machine=None),
+            entry("d2", [row(4, 80.0)]),
+        ]
+        assert gate.find_baseline(history, history[-1]) is None
+
+    def test_unstamped_latest_has_no_baseline(self):
+        history = [
+            entry("d1", [row(4, 50.0)]),
+            entry("d2", [row(4, 80.0)], machine=None),
+        ]
+        assert gate.find_baseline(history, history[-1]) is None
+
+
+class TestCompare:
+    def test_synthetic_25pct_slowdown_fails(self):
+        """The ISSUE acceptance case: a 25% drop must trip the 20% gate."""
+        base = entry("d1", [row(4, 100.0), row(16, 400.0)])
+        slow = entry("d2", [row(4, 75.0), row(16, 400.0)])
+        problems = gate.compare_entries(base, slow, tolerance=0.2)
+        assert len(problems) == 1
+        assert "serial_supersteps_per_sec" in problems[0]
+        assert "nprocs=4" in problems[0]
+
+    def test_within_tolerance_passes(self):
+        base = entry("d1", [row(4, 100.0)])
+        ok = entry("d2", [row(4, 85.0)])
+        assert gate.compare_entries(base, ok, tolerance=0.2) == []
+
+    def test_wider_tolerance_absorbs_the_drop(self):
+        base = entry("d1", [row(4, 100.0)])
+        slow = entry("d2", [row(4, 75.0)])
+        assert gate.compare_entries(base, slow, tolerance=0.3) == []
+
+    def test_speedup_ratio_never_gates(self):
+        base = entry("d1", [row(4, 100.0, speedup=8.0)])
+        latest = entry("d2", [row(4, 100.0, speedup=1.0)])
+        assert gate.compare_entries(base, latest, tolerance=0.2) == []
+
+    def test_new_workload_rows_ignored(self):
+        base = entry("d1", [row(4, 100.0)])
+        latest = entry("d2", [row(4, 100.0), row(64, 10.0)])
+        assert gate.compare_entries(base, latest, tolerance=0.2) == []
+
+    def test_improvement_never_gates(self):
+        base = entry("d1", [row(4, 100.0)])
+        fast = entry("d2", [row(4, 500.0)])
+        assert gate.compare_entries(base, fast, tolerance=0.2) == []
+
+
+class TestTrajectory:
+    def test_regression_reported(self):
+        data = trajectory(
+            entry("d1", [row(4, 100.0)]),
+            entry("d2", [row(4, 70.0)]),
+        )
+        status, problems = gate.check_trajectory(data, tolerance=0.2)
+        assert "REGRESSION" in status
+        assert problems
+
+    def test_no_baseline_skips(self):
+        data = trajectory(entry("d1", [row(4, 100.0)]))
+        status, problems = gate.check_trajectory(data, tolerance=0.2)
+        assert "skipped" in status
+        assert problems == []
+
+    def test_cross_machine_entries_reseed_not_fail(self):
+        data = trajectory(
+            entry("d1", [row(4, 1000.0)], machine=OTHER_STAMP),
+            entry("d2", [row(4, 100.0)]),
+        )
+        status, problems = gate.check_trajectory(data, tolerance=0.2)
+        assert "skipped" in status
+        assert problems == []
+
+
+class TestCli:
+    def _write(self, tmp_path, name, data):
+        path = tmp_path / name
+        path.write_text(json.dumps(data))
+        return path
+
+    def test_exit_1_on_regression(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path, "BENCH_x.json",
+            trajectory(entry("d1", [row(4, 100.0)]), entry("d2", [row(4, 75.0)])),
+        )
+        assert gate.main([str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "-25%" in out
+
+    def test_exit_0_when_clean(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path, "BENCH_x.json",
+            trajectory(entry("d1", [row(4, 100.0)]), entry("d2", [row(4, 101.0)])),
+        )
+        assert gate.main([str(path)]) == 0
+        assert "ok vs d1 baseline" in capsys.readouterr().out
+
+    def test_exit_0_without_baseline(self, tmp_path, capsys):
+        path = self._write(
+            tmp_path, "BENCH_x.json", trajectory(entry("d1", [row(4, 100.0)])),
+        )
+        assert gate.main([str(path)]) == 0
+
+    def test_tolerance_flag(self, tmp_path):
+        path = self._write(
+            tmp_path, "BENCH_x.json",
+            trajectory(entry("d1", [row(4, 100.0)]), entry("d2", [row(4, 75.0)])),
+        )
+        assert gate.main(["--tolerance", "0.3", str(path)]) == 0
+
+    def test_bad_tolerance_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            gate.main(["--tolerance", "1.5"])
+
+    def test_unreadable_file_fails(self, tmp_path):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("{not json")
+        assert gate.main([str(bad)]) == 1
+
+    def test_gates_committed_trajectories(self, capsys):
+        """The real BENCH files must always be in a passing state."""
+        assert gate.main([]) == 0

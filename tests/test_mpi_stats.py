@@ -112,3 +112,46 @@ class TestTimingReport:
         text = TimingReport.from_clock(clock, "m").render()
         assert "alpha" in text and "beta" in text
         assert "m" in text
+
+
+class TestImbalanceAndPercentiles:
+    def _skewed_clock(self):
+        clock = StageClock(4)
+        for rank, sec in enumerate((1.0, 1.0, 1.0, 5.0)):
+            clock.charge_compute("x", rank, sec)
+        return clock
+
+    def test_stage_imbalance_max_over_mean(self):
+        clock = self._skewed_clock()
+        assert clock.stage_imbalance("x") == pytest.approx(5.0 / 2.0)
+
+    def test_balanced_stage_is_one(self):
+        clock = StageClock(4)
+        clock.charge_comm_all("x", 2.0)
+        assert clock.stage_imbalance("x") == pytest.approx(1.0)
+
+    def test_uncharged_stage_is_one(self):
+        assert StageClock(4).stage_imbalance("never") == 1.0
+
+    def test_comm_counts_toward_imbalance(self):
+        clock = StageClock(2)
+        clock.charge_compute("x", 0, 1.0)
+        clock.charge_comm_all("x", 1.0, ranks=[0])
+        # rank 0 carries all 2.0s, rank 1 none: max/mean = 2.0
+        assert clock.stage_imbalance("x") == pytest.approx(2.0)
+
+    def test_percentiles(self):
+        clock = self._skewed_clock()
+        assert clock.per_rank_percentile("x", 0) == 1.0
+        assert clock.per_rank_percentile("x", 50) == 1.0
+        assert clock.per_rank_percentile("x", 100) == 5.0
+
+    def test_percentile_range_checked(self):
+        clock = self._skewed_clock()
+        with pytest.raises(ValueError, match="percentile"):
+            clock.per_rank_percentile("x", 101)
+        with pytest.raises(ValueError, match="percentile"):
+            clock.per_rank_percentile("x", -0.1)
+
+    def test_uncharged_stage_percentile_is_zero(self):
+        assert StageClock(4).per_rank_percentile("never", 99) == 0.0

@@ -1,0 +1,113 @@
+"""Unit tests for the report renderers (scaling, breakdown, per-rank)."""
+
+import pytest
+
+from repro import Pipeline, PipelineConfig
+from repro.pipeline import (
+    ScalingPoint,
+    breakdown_table,
+    memory_table,
+    parallel_efficiency,
+    rank_breakdown_table,
+    scaling_table,
+)
+from repro.seq import GenomeSpec, make_genome, tile_reads
+
+
+@pytest.fixture(scope="module")
+def reads():
+    genome = make_genome(GenomeSpec(length=2500, seed=51))
+    return tile_reads(genome, 350, 140)
+
+
+@pytest.fixture(scope="module")
+def runs(reads):
+    cfg = PipelineConfig(nprocs=4, k=17, reliable_lo=1, end_margin=5)
+    return [
+        Pipeline.default().run(reads, cfg),
+        Pipeline.default().run(reads, PipelineConfig(
+            nprocs=9, k=17, reliable_lo=1, end_margin=5
+        )),
+    ]
+
+
+class TestScaling:
+    def test_efficiency_relative_to_smallest_p(self):
+        points = [
+            ScalingPoint(4, 8.0, 1.0),
+            ScalingPoint(8, 4.0, 1.0),   # perfect halving
+            ScalingPoint(16, 4.0, 1.0),  # no further gain
+        ]
+        effs = parallel_efficiency(points)
+        assert effs == pytest.approx([1.0, 1.0, 0.5])
+        assert points[1].speedup_over(points[0]) == pytest.approx(2.0)
+
+    def test_degenerate_inputs(self):
+        assert parallel_efficiency([]) == []
+        effs = parallel_efficiency(
+            [ScalingPoint(4, 1.0, 1.0), ScalingPoint(8, 0.0, 1.0)]
+        )
+        assert effs[1] == 0.0
+
+    def test_scaling_table_renders_runs(self, runs):
+        text = scaling_table("unit", runs)
+        assert "strong scaling -- unit" in text
+        assert "     4" in text and "     9" in text
+        assert "100.0%" in text  # the P=4 base row
+
+
+class TestBreakdown:
+    def test_breakdown_table_has_all_stages(self, runs):
+        text = breakdown_table("unit", runs)
+        for stage in ("CountKmer", "DetectOverlap", "Alignment",
+                      "TrReduction", "ExtractContig"):
+            assert stage in text
+        assert "ExtractContig substages" in text
+        assert "P=4" in text and "P=9" in text
+
+    def test_memory_table_reports_peaks(self, runs):
+        text = memory_table("unit", runs)
+        assert "overall" in text
+        assert "budget" in text
+        assert "violations" in text
+
+
+class TestRankBreakdown:
+    def test_one_row_per_rank(self, runs):
+        text = rank_breakdown_table("unit", runs[0])
+        lines = text.splitlines()
+        assert lines[0] == "per-rank breakdown -- unit"
+        ranks = [l.split()[0] for l in lines[2:6]]
+        assert ranks == ["0", "1", "2", "3"]
+        assert [l.split()[0] for l in lines[6:]] == ["max", "p50", "imbal"]
+
+    def test_substages_folded_into_main_stage(self, runs):
+        """ExtractContig's column must include its substage charges, so
+        each rank's row sums to that rank's share of the full run."""
+        result = runs[0]
+        clock = result.world.clock
+        text = rank_breakdown_table("unit", result)
+        header, row0 = text.splitlines()[1], text.splitlines()[2]
+        stages = header.split()[1:]
+        cells = dict(zip(stages, (float(v) for v in row0.split()[1:])))
+        expected = clock.per_rank_seconds("ExtractContig")[0] + sum(
+            clock.per_rank_seconds(s)[0]
+            for s in clock.stages()
+            if s.startswith("ExtractContig/")
+        )
+        assert cells["ExtractContig"] == pytest.approx(expected, abs=1e-5)
+
+    def test_footer_consistent_with_rows(self, runs):
+        text = rank_breakdown_table("unit", runs[0])
+        lines = text.splitlines()
+        ncols = len(lines[1].split()) - 1
+        rows = [
+            [float(v) for v in l.split()[1:]] for l in lines[2:6]
+        ]
+        max_row = [float(v) for v in lines[6].split()[1:]]
+        for c in range(ncols):
+            assert max_row[c] == pytest.approx(
+                max(rows[r][c] for r in range(4)), abs=1e-5
+            )
+        imbal_row = [float(v) for v in lines[8].split()[1:]]
+        assert all(v >= 1.0 for v in imbal_row)

@@ -4,13 +4,59 @@ The project metadata lives in pyproject.toml; this file exists so that
 ``pip install -e .`` works on environments whose setuptools lacks the
 ``wheel`` package needed for PEP 660 editable builds (pip falls back to the
 classic ``setup.py develop`` path when no [build-system] table is declared).
+
+It also wires the **optional** native kernel extension
+(``repro._native._kernels``): ``python setup.py build_ext --inplace``
+compiles it against the numpy C API, and :mod:`repro.kernels` picks it up
+as the ``native`` tier.  The build is failure-tolerant -- a host without a
+C toolchain (or numpy headers) installs the pure-Python package unchanged
+and the kernel registry falls back to the numpy tier.
 """
 
 from setuptools import find_packages, setup
+from setuptools.command.build_ext import build_ext
+
+
+def _native_extensions():
+    try:
+        import numpy
+        from setuptools import Extension
+    except ImportError:
+        return []
+    return [
+        Extension(
+            "repro._native._kernels",
+            sources=["src/repro/_native/kernels.c"],
+            include_dirs=[numpy.get_include()],
+        )
+    ]
+
+
+class optional_build_ext(build_ext):
+    """Build the native tier when possible; never fail the install."""
+
+    def run(self):
+        try:
+            super().run()
+        except Exception as exc:  # pragma: no cover - toolchain-dependent
+            self._skip(exc)
+
+    def build_extension(self, ext):
+        try:
+            super().build_extension(ext)
+        except Exception as exc:  # pragma: no cover - toolchain-dependent
+            self._skip(exc)
+
+    def _skip(self, exc):
+        print(
+            f"WARNING: native kernel build skipped ({exc}); "
+            "the numpy kernel tier will be used"
+        )
+
 
 setup(
     name="repro",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Distributed-memory parallel contig generation for de novo "
         "long-read genome assembly (ELBA reproduction)"
@@ -19,4 +65,6 @@ setup(
     packages=find_packages(where="src"),
     python_requires=">=3.10",
     install_requires=["numpy>=1.24", "scipy>=1.10"],
+    ext_modules=_native_extensions(),
+    cmdclass={"build_ext": optional_build_ext},
 )

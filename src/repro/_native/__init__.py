@@ -1,0 +1,28 @@
+"""Optional compiled kernels (the ``native`` tier of :mod:`repro.kernels`).
+
+The C extension is built by ``python setup.py build_ext --inplace`` (or any
+pip install on a host with a C toolchain).  Importing this package never
+fails: when the extension is missing or unloadable, :data:`AVAILABLE` is
+False and :data:`IMPORT_ERROR` records why, so the kernel registry can fall
+back to the numpy tier instead of crashing compiler-less environments.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised via the forced-fallback test
+    from ._kernels import banded_batch, gapless_scan, walk_rounds
+
+    AVAILABLE = True
+    IMPORT_ERROR: str | None = None
+except ImportError as exc:  # extension not built on this host
+    AVAILABLE = False
+    IMPORT_ERROR = str(exc)
+    gapless_scan = banded_batch = walk_rounds = None  # type: ignore[assignment]
+
+__all__ = [
+    "AVAILABLE",
+    "IMPORT_ERROR",
+    "gapless_scan",
+    "banded_batch",
+    "walk_rounds",
+]

@@ -36,12 +36,14 @@ from __future__ import annotations
 
 import os
 import threading
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
 from ..errors import AlignmentError
+from ..kernels import native_kernels, resolve_kernel_tier
 from ..seq.readstore import PackedReads
 from .xdrop import XdropResult
 
@@ -206,6 +208,7 @@ def _gapless_side_batch(
     mismatch: int,
     stripe: int = GAPLESS_STRIPE,
     comp_pool: np.ndarray | None = None,
+    kernel_tier: str = "numpy",
 ) -> tuple[np.ndarray, np.ndarray]:
     """Batch analogue of ``_gapless_one_side``: (steps_taken, score_gained).
 
@@ -217,6 +220,10 @@ def _gapless_side_batch(
     Positions past ``n`` take a step of ``-(x + 1)``, which fires the drop
     at ``n`` at the latest -- making the striped scan agree with the
     scalar's length-``n`` cumsum everywhere the scalar reads it.
+
+    ``kernel_tier="native"`` routes the scan loop itself through the C
+    extension (bit-identical outputs); the strand folding above stays
+    here either way.
     """
     npairs = n.size
     steps_out = np.zeros(npairs, dtype=np.int64)
@@ -224,6 +231,20 @@ def _gapless_side_batch(
     total = int(n.max()) if npairs else 0
     if total == 0:
         return steps_out, score_out
+    # batch reverse-complement, gather edition: b reads on the opposite
+    # strand gather from the complemented second half of a doubled pool
+    # (their descending index stride already handles the reversal), so the
+    # kernel needs no per-row complement branch at all
+    if comp.any():
+        pool = comp_pool if comp_pool is not None else complemented_pool(buffer)
+        base_b = base_b + np.where(comp, np.int64(buffer.size), np.int64(0))
+    else:
+        pool = buffer
+    if kernel_tier == "native":
+        return native_kernels().gapless_scan(
+            buffer, pool, base_a, sign_a, base_b, sign_b, n,
+            int(x), int(match), int(mismatch),
+        )
     # int32 halves the kernel's memory traffic; fall back to int64 when
     # indices or worst-case |cumsum| could overflow
     idtype = (
@@ -241,15 +262,6 @@ def _gapless_side_batch(
     # int8 step arithmetic replaces np.where (which pays a large scalar-
     # broadcast penalty); only exotic scoring falls back to the where path
     int8_steps = max(abs(match), abs(mismatch), x + 1) <= 63
-    # batch reverse-complement, gather edition: b reads on the opposite
-    # strand gather from the complemented second half of a doubled pool
-    # (their descending index stride already handles the reversal), so the
-    # kernel needs no per-row complement branch at all
-    if comp.any():
-        pool = comp_pool if comp_pool is not None else complemented_pool(buffer)
-        base_b = base_b + np.where(comp, np.int64(buffer.size), np.int64(0))
-    else:
-        pool = buffer
     base_a = base_a.astype(idtype, copy=False)
     base_b = base_b.astype(idtype, copy=False)
     sign_a = sign_a.astype(idtype, copy=False)
@@ -370,6 +382,7 @@ def _banded_side_batch(
     mismatch: int,
     gap: int,
     band: int,
+    kernel_tier: str = "numpy",
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Batch analogue of ``_banded_one_side``: (a_steps, b_steps, score).
 
@@ -377,7 +390,16 @@ def _banded_side_batch(
     pair; ``running`` retires pairs whose band emptied or whose cells all
     died (the scalar's two ``break`` conditions collapse into one check
     because a dead band scores nothing).
+
+    ``kernel_tier="native"`` runs the per-pair antidiagonal recurrence in
+    the C extension instead (bit-identical outputs).
     """
+    if kernel_tier == "native":
+        return native_kernels().banded_batch(
+            np.ascontiguousarray(amat),
+            np.ascontiguousarray(bmat),
+            na, nb, int(x), int(match), int(mismatch), int(gap), int(band),
+        )
     npairs = na.size
     width = 2 * band + 1
     best_score = np.zeros(npairs, dtype=np.int64)
@@ -488,6 +510,8 @@ def batch_xdrop_extend(
     gap: int = -1,
     band: int = 16,
     comp_pool: np.ndarray | None = None,
+    kernel_tier: str | None = None,
+    span=None,
 ) -> BatchXdropResult:
     """X-drop extend a whole batch of seeded candidate pairs at once.
 
@@ -515,6 +539,14 @@ def batch_xdrop_extend(
         chunk one packed buffer over many calls should build it once and
         pass it here so opposite-strand gathers do not re-complement the
         whole pool per chunk.
+    kernel_tier:
+        ``"numpy"`` | ``"native"`` | ``None`` (resolve via
+        :func:`repro.kernels.resolve_kernel_tier`).  Both tiers return
+        bit-identical results.
+    span:
+        Optional span factory (e.g. ``RankContext.span``); when given,
+        the kernel call is wrapped in ``span("<tier>:gapless")`` /
+        ``span("<tier>:banded")`` so telemetry attributes time per tier.
 
     Returns
     -------
@@ -569,38 +601,44 @@ def batch_xdrop_extend(
         a_off, b_off, seed_a, seed_b, alen, blen, same, seed_len
     )
 
+    tier = resolve_kernel_tier(kernel_tier)
     if mode == "diag":
         # the two directions are independent extensions: stack them as one
         # 2B-row kernel call (rows retire independently either way)
-        steps, gained = _gapless_side_batch(
-            buffer,
-            np.concatenate([a_right[0], a_left[0]]),
-            np.concatenate([a_right[1], a_left[1]]),
-            np.concatenate([b_right[0], b_left[0]]),
-            np.concatenate([b_right[1], b_left[1]]),
-            np.concatenate([comp, comp]),
-            np.concatenate(
-                [np.minimum(a_right[2], b_right[2]), np.minimum(a_left[2], b_left[2])]
-            ),
-            x,
-            match,
-            mismatch,
-            comp_pool=comp_pool,
-        )
+        with span(f"{tier}:gapless") if span is not None else nullcontext():
+            steps, gained = _gapless_side_batch(
+                buffer,
+                np.concatenate([a_right[0], a_left[0]]),
+                np.concatenate([a_right[1], a_left[1]]),
+                np.concatenate([b_right[0], b_left[0]]),
+                np.concatenate([b_right[1], b_left[1]]),
+                np.concatenate([comp, comp]),
+                np.concatenate(
+                    [np.minimum(a_right[2], b_right[2]), np.minimum(a_left[2], b_left[2])]
+                ),
+                x,
+                match,
+                mismatch,
+                comp_pool=comp_pool,
+                kernel_tier=tier,
+            )
         a_steps_r = b_steps_r = steps[:npairs]
         a_steps_l = b_steps_l = steps[npairs:]
         right_score, left_score = gained[:npairs], gained[npairs:]
     else:
-        amat_r = _gather(buffer, a_right[0], a_right[1], int(a_right[2].max()), no_comp)
-        bmat_r = _gather(buffer, b_right[0], b_right[1], int(b_right[2].max()), comp)
-        amat_l = _gather(buffer, a_left[0], a_left[1], int(a_left[2].max()), no_comp)
-        bmat_l = _gather(buffer, b_left[0], b_left[1], int(b_left[2].max()), comp)
-        a_steps_r, b_steps_r, right_score = _banded_side_batch(
-            amat_r, bmat_r, a_right[2], b_right[2], x, match, mismatch, gap, band
-        )
-        a_steps_l, b_steps_l, left_score = _banded_side_batch(
-            amat_l, bmat_l, a_left[2], b_left[2], x, match, mismatch, gap, band
-        )
+        with span(f"{tier}:banded") if span is not None else nullcontext():
+            amat_r = _gather(buffer, a_right[0], a_right[1], int(a_right[2].max()), no_comp)
+            bmat_r = _gather(buffer, b_right[0], b_right[1], int(b_right[2].max()), comp)
+            amat_l = _gather(buffer, a_left[0], a_left[1], int(a_left[2].max()), no_comp)
+            bmat_l = _gather(buffer, b_left[0], b_left[1], int(b_left[2].max()), comp)
+            a_steps_r, b_steps_r, right_score = _banded_side_batch(
+                amat_r, bmat_r, a_right[2], b_right[2], x, match, mismatch, gap, band,
+                kernel_tier=tier,
+            )
+            a_steps_l, b_steps_l, left_score = _banded_side_batch(
+                amat_l, bmat_l, a_left[2], b_left[2], x, match, mismatch, gap, band,
+                kernel_tier=tier,
+            )
 
     return BatchXdropResult(
         score=seed_len * match + left_score + right_score,
@@ -629,6 +667,8 @@ def iter_classified_chunks(
     min_score: int | None = None,
     min_overlap: int = 0,
     end_margin: int = 0,
+    kernel_tier: str | None = None,
+    span=None,
 ):
     """Run task arrays through the batch engine in classified chunks.
 
@@ -648,6 +688,7 @@ def iter_classified_chunks(
         if mode == "diag" and not same_strand.all()
         else None
     )
+    tier = resolve_kernel_tier(kernel_tier)
     n = int(a_idx.size)
     batch = max(int(batch_size), 1)
     for lo in range(0, n, batch):
@@ -666,6 +707,8 @@ def iter_classified_chunks(
             match=match,
             mismatch=mismatch,
             comp_pool=pool,
+            kernel_tier=tier,
+            span=span,
         )
         keep = np.minimum(res.a_span, res.b_span) >= min_overlap
         if min_score is not None:

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import argparse
 
+from ..kernels import KERNEL_TIERS
 from ..mpi.costmodel import MACHINE_PRESETS
 from ..mpi.executor import EXECUTOR_BACKENDS
 from ..pipeline import PipelineConfig
@@ -105,6 +106,12 @@ def add_pipeline_args(parser: argparse.ArgumentParser) -> None:
         "on every backend; default from $REPRO_EXECUTOR",
     )
     parser.add_argument(
+        "--kernel-tier", choices=tuple(KERNEL_TIERS), default=None,
+        help="inner-loop kernel implementation: vectorized numpy or the "
+        "compiled C extension (falls back to numpy when not built); "
+        "tiers are bit-identical; default from $REPRO_KERNEL_TIER",
+    )
+    parser.add_argument(
         "--memory-mode", choices=("fast", "low"), default="fast",
         help="SpGEMM accumulation strategy (low = stream merge)",
     )
@@ -145,6 +152,8 @@ def build_pipeline_config(args, ds=None) -> PipelineConfig:
         cfg.contig_engine = args.contig_engine
     if getattr(args, "executor", None) is not None:
         cfg.executor = args.executor
+    if getattr(args, "kernel_tier", None) is not None:
+        cfg.kernel_tier = args.kernel_tier
     if getattr(args, "memory_budget_mb", None) is not None:
         cfg.memory_budget_mb = args.memory_budget_mb
     return cfg

@@ -27,6 +27,7 @@ import time
 
 from ..errors import FaultPlanError
 from ..faults import FaultPlan, RetryPolicy
+from ..kernels import KERNEL_TIERS
 from ..mpi.executor import EXECUTOR_BACKENDS
 from ..service import JobError, JobService, TERMINAL_STATES
 from .common import CliError, positive_float, positive_int
@@ -148,6 +149,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run every job's stages on this executor backend, "
                    "overriding job specs and REPRO_EXECUTOR (e.g. "
                    "'process' for a multi-core worker)")
+    p.add_argument("--kernel-tier", default=None, choices=KERNEL_TIERS,
+                   help="run every job's kernels on this tier, overriding "
+                   "job specs and REPRO_KERNEL_TIER (tiers are "
+                   "bit-identical; 'native' falls back to numpy when the "
+                   "extension is not built)")
     p.add_argument("--max-attempts", type=positive_int, default=None,
                    help="retry ceiling: a job failing this many attempts "
                    "lands in terminal 'failed' instead of requeueing")
@@ -384,6 +390,7 @@ def _cmd_worker(svc: JobService, args, out) -> int:
         worker_id=args.worker_id,
         fault_plan=fault_plan,
         executor=args.executor,
+        kernel_tier=args.kernel_tier,
     )
     for record in done:
         cached = (record.summary or {}).get("stages_cached", 0)

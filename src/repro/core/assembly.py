@@ -218,20 +218,27 @@ def local_assembly(
     reads: PackedReads,
     emit_cycles: bool = False,
     engine: str = "batch",
+    kernel_tier: str | None = None,
+    span=None,
 ) -> LocalAssemblyResult:
     """Assemble every linear component of one rank's induced subgraph.
 
     ``engine="batch"`` (the default) routes through the vectorized chain
     extractor of :mod:`~repro.core.batch`; ``engine="scalar"`` runs this
     module's per-vertex walk.  Both produce bit-identical results -- the
-    scalar path remains the property-tested reference.
+    scalar path remains the property-tested reference.  ``kernel_tier`` /
+    ``span`` are forwarded to the batch engine (the scalar walk has no
+    kernel dispatch and ignores them).
     """
     if engine not in ("batch", "scalar"):
         raise AssemblyError(f"unknown assembly engine {engine!r}")
     if engine == "batch":
         from .batch import local_assembly_batch
 
-        return local_assembly_batch(graph, reads, emit_cycles=emit_cycles)
+        return local_assembly_batch(
+            graph, reads, emit_cycles=emit_cycles,
+            kernel_tier=kernel_tier, span=span,
+        )
     result = LocalAssemblyResult()
     nv = graph.n_vertices
     if nv == 0:

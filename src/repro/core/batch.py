@@ -38,6 +38,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import AssemblyError
+from ..kernels import native_kernels, resolve_kernel_tier
 from ..seq.readstore import PackedReads, gather_pieces
 from ..sparse.dcsc import Dcsc
 from .induced import InducedGraph
@@ -204,15 +205,34 @@ class _WalkTables:
 
 
 def _lockstep_walk(
-    t: _WalkTables, visited: np.ndarray, starts: np.ndarray
+    t: _WalkTables, visited: np.ndarray, starts: np.ndarray,
+    kernel_tier: str = "numpy",
 ) -> BatchWalks:
     """Advance one walk per start in lockstep until all terminate.
 
     ``starts`` must contain at most one vertex per component: walks then
     never contend for a vertex, and the shared ``visited`` array (updated in
     place) behaves exactly as under the scalar's sequential order.
+
+    ``kernel_tier="native"`` runs the advance rounds in the C extension
+    (walk-major time-ordered output, bit-identical to the numpy path).
     """
     K = starts.size
+    if kernel_tier == "native":
+        starts64 = starts.astype(np.int64, copy=False)
+        n_edges, truncated, src, dst, edir, pre, post = (
+            native_kernels().walk_rounds(
+                t.n0, t.n1, t.sb0, t.sb1, t.d0, t.d1,
+                t.pre0, t.pre1, t.post0, t.post1, t.deg,
+                visited, starts64,
+            )
+        )
+        return BatchWalks(
+            start=starts64.copy(),
+            truncated=truncated,
+            n_edges=n_edges,
+            src=src, dst=dst, dir=edir, pre=pre, post=post,
+        )
     cur = starts.astype(np.int64, copy=True)
     entered = np.full(K, -1, dtype=np.int64)
     truncated = np.zeros(K, dtype=bool)
@@ -418,13 +438,27 @@ def local_assembly_batch(
     graph: InducedGraph,
     reads: PackedReads,
     emit_cycles: bool = False,
+    kernel_tier: str | None = None,
+    span=None,
 ):
     """Array-level :func:`~repro.core.assembly.local_assembly`.
 
     Bit-identical to the scalar walk: same contigs in the same order, same
     flags and diagnostics.
+
+    ``kernel_tier`` selects the walk-advance implementation (``None``
+    resolves via :func:`repro.kernels.resolve_kernel_tier`); ``span``, when
+    given, wraps each advance round in ``span("<tier>:walk")``.
     """
     from .assembly import LocalAssemblyResult
+
+    tier = resolve_kernel_tier(kernel_tier)
+
+    def _walk(tables, visited, starts):
+        if span is not None:
+            with span(f"{tier}:walk"):
+                return _lockstep_walk(tables, visited, starts, kernel_tier=tier)
+        return _lockstep_walk(tables, visited, starts, kernel_tier=tier)
 
     result = LocalAssemblyResult()
     nv = graph.n_vertices
@@ -454,7 +488,7 @@ def local_assembly_batch(
         _, first = np.unique(labels[pending], return_index=True)
         starts = np.sort(pending[first])
         result.n_roots += int(starts.size)
-        rounds1.append(_lockstep_walk(walk_tables, visited, starts))
+        rounds1.append(_walk(walk_tables, visited, starts))
     result.contigs.extend(
         _concatenate_batch(graph, reads, _merge_walks(rounds1), False)
     )
@@ -473,7 +507,7 @@ def local_assembly_batch(
         _, first = np.unique(labels[unv], return_index=True)
         starts = np.sort(unv[first])
         result.n_cycles += int(starts.size)
-        rounds2.append(_lockstep_walk(walk_tables, visited, starts))
+        rounds2.append(_walk(walk_tables, visited, starts))
     if emit_cycles:
         result.contigs.extend(
             _concatenate_batch(graph, reads, _merge_walks(rounds2), True)

@@ -81,6 +81,7 @@ def contig_generation(
     polish: bool = False,
     polish_config=None,
     assembly_engine: str = "batch",
+    kernel_tier: str | None = None,
 ) -> ContigSet:
     """Generate the contig set from the string matrix S and the reads.
 
@@ -92,7 +93,9 @@ def contig_generation(
 
     ``assembly_engine`` selects the local traversal implementation
     (``"batch"`` or ``"scalar"``); both are bit-identical, so the choice
-    never changes the contig set.
+    never changes the contig set.  ``kernel_tier`` picks the batch
+    engine's walk-advance kernel (``numpy`` | ``native``), also
+    bit-identical.
     """
     world = S.grid.world
 
@@ -122,7 +125,8 @@ def contig_generation(
         # subgraph through the executor backend
         def _assemble_step(ctx, graph, shard):
             res = local_assembly(
-                graph, shard, emit_cycles=emit_cycles, engine=assembly_engine
+                graph, shard, emit_cycles=emit_cycles, engine=assembly_engine,
+                kernel_tier=kernel_tier, span=ctx.span,
             )
             ctx.charge_compute(
                 graph.coo.nnz + sum(c.length for c in res.contigs)

@@ -44,6 +44,10 @@ class AlignmentError(ReproError):
     """Pairwise alignment preconditions violated."""
 
 
+class KernelError(ReproError):
+    """Kernel-tier registry misuse (unknown tier, unavailable native tier)."""
+
+
 class AssemblyError(ReproError):
     """Contig generation invariants violated (e.g. non-linear local graph)."""
 

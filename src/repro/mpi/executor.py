@@ -113,11 +113,11 @@ class RankContext(int):
         self._compute: list[tuple[str, float]] = []
         self._memory: list[tuple[str, float]] = []
         #: named kernel sections opened via :meth:`span`:
-        #: (name, stage, modeled_seconds, wall_seconds) per section, in
-        #: completion order.  Buffered exactly like compute charges (and
+        #: (name, stage, modeled_seconds, wall_seconds, tier) per section,
+        #: in completion order.  Buffered exactly like compute charges (and
         #: spliced back from worker processes the same way) so an
         #: attached tracer sees identical records on every backend.
-        self._spans: list[tuple[str, str, float, float]] = []
+        self._spans: list[tuple[str, str, float, float, str | None]] = []
         return self
 
     def __reduce__(self):
@@ -190,9 +190,23 @@ class RankContext(int):
         inside the block (so it nests correctly in the rank's superstep
         lane on any backend); wall time is measured alongside for
         profiling.  Sections are flat -- nest stage scopes, not spans.
+
+        A ``"<tier>:<kernel>"`` name (tier one of
+        :data:`~repro.kernels.KERNEL_TIERS`) is split: the span is
+        recorded under the bare kernel name with the tier in a separate
+        channel that the tracer keeps **out of the digest** -- both
+        kernel tiers produce identical trace digests while profiles
+        still attribute wall time per tier.
         """
         import time as _time
 
+        from ..kernels import KERNEL_TIERS
+
+        tier = None
+        if ":" in name:
+            prefix, rest = name.split(":", 1)
+            if prefix in KERNEL_TIERS:
+                tier, name = prefix, rest
         modeled0 = sum(sec for _, sec in self._compute)
         wall0 = _time.perf_counter()
         try:
@@ -200,7 +214,7 @@ class RankContext(int):
         finally:
             modeled = sum(sec for _, sec in self._compute) - modeled0
             self._spans.append(
-                (name, self.stage, modeled, _time.perf_counter() - wall0)
+                (name, self.stage, modeled, _time.perf_counter() - wall0, tier)
             )
 
     def _merge(self) -> None:

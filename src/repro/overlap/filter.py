@@ -58,7 +58,10 @@ class AlignmentParams:
     rejects spurious short overlaps; ``end_margin`` is the dovetail
     endpoint slack; ``batch_size`` bounds how many pairs the batched
     engine extends per kernel call (memory/throughput trade-off -- results
-    are independent of it).
+    are independent of it); ``kernel_tier`` picks the inner-loop
+    implementation (``numpy`` | ``native``, ``None`` = resolve from the
+    environment) -- tiers are bit-identical, so like ``batch_size`` it
+    never changes results.
     """
 
     k: int
@@ -70,6 +73,7 @@ class AlignmentParams:
     min_overlap: int = 0
     end_margin: int = 10
     batch_size: int = 512
+    kernel_tier: str | None = None
 
 
 @dataclass
@@ -153,6 +157,7 @@ def _align_rank_tasks(
     seeds: np.ndarray,
     params: AlignmentParams,
     stats: AlignmentStats,
+    span=None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
     """Batch-align one rank's task list.
 
@@ -201,6 +206,8 @@ def _align_rank_tasks(
         min_score=params.min_score,
         min_overlap=params.min_overlap,
         end_margin=params.end_margin,
+        kernel_tier=params.kernel_tier,
+        span=span,
     )
     for sl, res, cls, kind in chunks:
         aligned_bases += int(res.a_span.sum() + res.b_span.sum())
@@ -292,7 +299,8 @@ def build_overlap_graph(
         gi_arr, gj_arr, seeds = task
         rank_stats = AlignmentStats()
         src, dst, vals, contained, aligned_bases = _align_rank_tasks(
-            local_reads, gi_arr, gj_arr, seeds, params, rank_stats
+            local_reads, gi_arr, gj_arr, seeds, params, rank_stats,
+            span=ctx.span,
         )
         ctx.charge_compute(aligned_bases, kind="alignment")
         return src, dst, vals, contained, rank_stats

@@ -6,6 +6,7 @@ import math
 from dataclasses import dataclass, field
 
 from ..errors import PipelineError
+from ..kernels import KERNEL_TIERS, default_kernel_tier
 from ..mpi.bigcount import MPI_COUNT_LIMIT
 from ..mpi.costmodel import MACHINE_PRESETS, MachineModel
 from ..mpi.executor import EXECUTOR_BACKENDS, default_executor
@@ -33,6 +34,13 @@ class PipelineConfig:
     # backends, so -- like align_batch_size -- this is deliberately
     # not checkpoint-fingerprinted.  Env override: REPRO_EXECUTOR.
     executor: str = field(default_factory=default_executor)
+    # inner-loop kernel implementation for the batched engines: "numpy"
+    # (vectorized reference, always available) or "native" (the C
+    # extension, which degrades gracefully to numpy when not built).
+    # Tiers are bit-identical, so -- like executor -- this is
+    # deliberately not checkpoint-fingerprinted.  Env override:
+    # REPRO_KERNEL_TIER.
+    kernel_tier: str = field(default_factory=default_kernel_tier)
     # k-mer stage
     k: int = 31
     reliable_lo: int = 2
@@ -129,6 +137,11 @@ class PipelineConfig:
             raise PipelineError(
                 f"unknown executor {self.executor!r}; "
                 f"options: {list(EXECUTOR_BACKENDS)}"
+            )
+        if self.kernel_tier not in KERNEL_TIERS:
+            raise PipelineError(
+                f"unknown kernel_tier {self.kernel_tier!r}; "
+                f"options: {list(KERNEL_TIERS)}"
             )
         if self.stage_max_retries < 0:
             raise PipelineError(

@@ -38,6 +38,7 @@ import numpy as np
 
 from ..core.contig import STAGE_PREFIX, ContigSet
 from ..errors import PipelineError, RankFailure
+from ..kernels import native_import_error, resolve_kernel_tier
 from ..mpi.comm import SimWorld
 from ..mpi.costmodel import MachineModel
 from ..mpi.grid import ProcGrid
@@ -614,6 +615,18 @@ class Pipeline:
         ctx = self._build_context(reads, config, machine)
         if reads is None and not from_artifacts:
             raise PipelineError("pipeline needs reads or from_artifacts")
+        resolved_tier = resolve_kernel_tier(config.kernel_tier)
+        if resolved_tier != config.kernel_tier:
+            # requested native, extension unavailable: results are
+            # unaffected (tiers are bit-identical) but surface the
+            # degradation so perf runs are not silently slower
+            notify(
+                "on_stage_note",
+                "-",
+                ctx,
+                f"kernel tier fallback: {config.kernel_tier!r} unavailable "
+                f"({native_import_error()}); using {resolved_tier!r}",
+            )
         injected = bool(from_artifacts)
         if injected:
             from .checkpoint import adopt_artifact

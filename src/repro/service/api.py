@@ -117,6 +117,7 @@ class JobService:
         fault_plan: FaultPlan | None = None,
         fault_injector=None,
         executor: str | None = None,
+        kernel_tier: str | None = None,
     ) -> Worker:
         return Worker(
             self.store,
@@ -126,6 +127,7 @@ class JobService:
             fault_plan=fault_plan,
             fault_injector=fault_injector,
             executor=executor,
+            kernel_tier=kernel_tier,
         )
 
     def run_worker(
@@ -134,8 +136,10 @@ class JobService:
         worker_id: str | None = None,
         fault_plan: FaultPlan | None = None,
         executor: str | None = None,
+        kernel_tier: str | None = None,
     ) -> list[JobRecord]:
         """Drain the queue synchronously in this process."""
         return self.worker(
-            worker_id, fault_plan=fault_plan, executor=executor
+            worker_id, fault_plan=fault_plan, executor=executor,
+            kernel_tier=kernel_tier,
         ).drain(max_jobs=max_jobs)

@@ -248,6 +248,7 @@ class Worker:
         fault_plan: FaultPlan | None = None,
         fault_injector: FaultInjector | None = None,
         executor: str | None = None,
+        kernel_tier: str | None = None,
         trace_jobs: bool = True,
     ) -> None:
         self.store = store
@@ -267,6 +268,18 @@ class Worker:
                     f"{list(EXECUTOR_BACKENDS)}"
                 )
         self.executor = executor
+        # kernel-tier override, mirrored on the executor override above
+        # (the ``repro-jobs worker --kernel-tier`` flag); tiers are
+        # bit-identical so this is a pure throughput knob
+        if kernel_tier is not None:
+            from ..kernels import KERNEL_TIERS
+
+            if kernel_tier not in KERNEL_TIERS:
+                raise JobError(
+                    f"unknown kernel tier {kernel_tier!r}; options: "
+                    f"{list(KERNEL_TIERS)}"
+                )
+        self.kernel_tier = kernel_tier
         if fault_injector is None:
             kill_after = os.environ.get(KILL_AFTER_ENV)
             if fault_plan is None and kill_after:
@@ -306,6 +319,8 @@ class Worker:
             reads, config = materialize_spec(record.spec)
             if self.executor is not None:
                 config.executor = self.executor
+            if self.kernel_tier is not None:
+                config.kernel_tier = self.kernel_tier
         except Exception as exc:
             record = self.store.finish(
                 record, "failed", error=f"spec error: {exc}"
@@ -355,6 +370,12 @@ class Worker:
             summary["cache_hits"] = self.cache.hits - hits0
             summary["cache_misses"] = self.cache.misses - misses0
             summary["executor"] = config.executor
+            # record the tier that actually ran, not the one requested
+            # (native silently degrades to numpy when the extension is
+            # missing -- perf audits need the truth)
+            from ..kernels import resolve_kernel_tier
+
+            summary["kernel_tier"] = resolve_kernel_tier(config.kernel_tier)
             trace_file = self._write_trace(record.job_id, tracer)
             if trace_file is not None:
                 summary["trace_file"] = trace_file

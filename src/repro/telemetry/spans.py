@@ -77,6 +77,11 @@ class Span:
     attrs: dict = field(default_factory=dict)
     children: list["Span"] = field(default_factory=list)
     wall: float | None = None
+    #: kernel tier ("numpy" | "native") the section ran under -- like
+    #: ``wall``, informational only: excluded from :meth:`to_dict` by
+    #: default and never part of the digest, so both tiers (which are
+    #: bit-identical) produce identical trace identities
+    tier: str | None = None
 
     @property
     def duration(self) -> float:
@@ -95,6 +100,8 @@ class Span:
             out["attrs"] = dict(self.attrs)
         if include_wall and self.wall is not None:
             out["wall"] = self.wall
+        if include_wall and self.tier is not None:
+            out["tier"] = self.tier
         if self.children:
             out["children"] = [
                 c.to_dict(include_wall=include_wall) for c in self.children
@@ -266,7 +273,7 @@ class Tracer:
                 continue
             lane = Span(f"rank {r}", "rank", t0, t0 + total, rank=r)
             t = t0
-            for name, span_stage, sec, span_wall in named:
+            for name, span_stage, sec, span_wall, *extra in named:
                 lane.children.append(
                     Span(
                         name, "kernel", t, t + sec, rank=r,
@@ -275,6 +282,7 @@ class Tracer:
                             if span_stage != stage else {}
                         ),
                         wall=span_wall,
+                        tier=extra[0] if extra else None,
                     )
                 )
                 t += sec
